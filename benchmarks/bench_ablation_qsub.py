@@ -1,0 +1,79 @@
+"""E-ABL1 — §IV.A: "Computation time is proportional to the number of
+generated intermediate elementary modes", and divide-and-conquer "usually
+leads to the decrease of the cumulative number of intermediate modes".
+
+Sweeps the partition size q_sub over the same workload and records the
+cumulative candidate count and measured time per split; also verifies the
+proportionality claim by correlating per-subset candidates with per-subset
+host time.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.tables import Table
+from repro.dnc.combined import combined_parallel
+from repro.dnc.selection import select_partition_reactions
+
+QSUBS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def sweep(yeast1_small_problem):
+    rec, problem, _split = yeast1_small_problem
+    rows = []
+    for q_sub in QSUBS:
+        partition = select_partition_reactions(rec.reduced, q_sub, method="balance")
+        t0 = time.perf_counter()
+        run = combined_parallel(rec.reduced, partition, 1)
+        dt = time.perf_counter() - t0
+        rows.append((q_sub, partition, run, dt))
+    return rec, rows
+
+
+def test_qsub_sweep_artifact(sweep, write_artifact):
+    rec, rows = sweep
+    table = Table(
+        title="E-ABL1 — candidate count and time vs. partition size (yeast-I-small)",
+        columns=["q_sub", "partition", "# subsets", "# EFM",
+                 "cumulative candidates", "host time (s)"],
+    )
+    for q_sub, partition, run, dt in rows:
+        table.add_row(
+            q_sub, " ".join(partition), len(run.subsets), run.n_efms,
+            run.total_candidates, dt,
+        )
+    write_artifact("ablation_qsub.txt", table.render())
+
+    # All splits compute the same EFM set.
+    assert len({run.n_efms for _, _, run, _ in rows}) == 1
+
+
+def test_time_tracks_candidates(sweep):
+    """Per-subset host time correlates strongly with per-subset candidate
+    count — the paper's proportionality observation."""
+    import numpy as np
+
+    _, rows = sweep
+    cands, times = [], []
+    for _, _, run, _ in rows:
+        for s in run.subsets:
+            if s.stats is not None and s.n_candidates > 0:
+                cands.append(s.n_candidates)
+                times.append(s.stats.t_gen_cand + s.stats.t_rank_test)
+    assert len(cands) >= 6
+    r = np.corrcoef(np.log10(cands), np.log10(np.maximum(times, 1e-7)))[0, 1]
+    assert r > 0.6, f"candidates/time correlation too weak: {r:.2f}"
+
+
+def test_best_split_reduces_candidates(sweep, benchmark, yeast1_small_problem):
+    rec, rows = sweep
+    _, problem, _ = yeast1_small_problem
+    from repro.parallel.combinatorial import combinatorial_parallel
+
+    unsplit = benchmark.pedantic(
+        lambda: combinatorial_parallel(problem, 1), rounds=1, iterations=1
+    )
+    best = min(run.total_candidates for _, _, run, _ in rows)
+    assert best < unsplit.stats.total_candidates

@@ -1,0 +1,94 @@
+"""E-ABL5 — §IV.C future work: automated partition-reaction selection.
+
+"An automated method to select the subset and estimate the approximate
+number of elementary modes for a given reaction partition would be
+helpful to make the combined parallel Nullspace Algorithm a fully
+automated procedure."  This bench compares the three implemented
+selection heuristics (tail / balance / probe) against the worst observed
+2-reaction partition, by cumulative candidate count.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.bench.tables import Table
+from repro.dnc.combined import combined_parallel
+from repro.dnc.selection import select_partition_reactions
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def selection_runs(yeast1_small_problem):
+    rec, _problem, _ = yeast1_small_problem
+    reduced = rec.reduced
+    results = {}
+    for method in ("tail", "balance", "probe"):
+        t0 = time.perf_counter()
+        partition = select_partition_reactions(reduced, 2, method=method)
+        select_time = time.perf_counter() - t0
+        run = combined_parallel(reduced, partition, 1)
+        results[method] = (partition, run, select_time)
+    return rec, results
+
+
+@pytest.fixture(scope="module")
+def random_baseline(yeast1_small_problem):
+    """Candidate counts of a sample of arbitrary 2-reaction partitions."""
+    rec, _problem, _ = yeast1_small_problem
+    reduced = rec.reduced
+    counts = []
+    names = reduced.reaction_names
+    for pair in itertools.islice(itertools.combinations(names, 2), 0, 40, 4):
+        try:
+            run = combined_parallel(reduced, pair, 1)
+        except ReproError:
+            continue
+        counts.append((run.total_candidates, pair))
+    return counts
+
+
+def test_selection_artifact(selection_runs, random_baseline, write_artifact):
+    _, results = selection_runs
+    table = Table(
+        title="E-ABL5 — partition selection heuristics (yeast-I-small, q_sub=2)",
+        columns=["method", "partition", "cumulative candidates", "# EFM",
+                 "selection cost (s)"],
+    )
+    for method, (partition, run, select_time) in results.items():
+        table.add_row(
+            method, " ".join(partition), run.total_candidates,
+            run.n_efms, select_time,
+        )
+    if random_baseline:
+        worst = max(random_baseline)
+        table.add_footer(
+            f"worst sampled arbitrary partition: {worst[1]} -> {worst[0]:,} candidates"
+        )
+    write_artifact("ablation_selection.txt", table.render())
+
+
+def test_all_heuristics_preserve_efm_set(selection_runs):
+    _, results = selection_runs
+    counts = {run.n_efms for _, run, _ in results.values()}
+    assert len(counts) == 1
+
+
+def test_heuristics_beat_worst_arbitrary(selection_runs, random_baseline):
+    _, results = selection_runs
+    if not random_baseline:
+        pytest.skip("no arbitrary partitions completed")
+    worst = max(c for c, _ in random_baseline)
+    for method, (_, run, _) in results.items():
+        assert run.total_candidates <= worst, method
+
+
+def test_balance_selection_benchmark(benchmark, yeast1_small_problem):
+    rec, _problem, _ = yeast1_small_problem
+    partition = benchmark.pedantic(
+        lambda: select_partition_reactions(rec.reduced, 2, method="balance"),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(partition) == 2

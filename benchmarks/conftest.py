@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark writes its rendered paper-style table to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference concrete
+artifacts.  Workloads are the registry's ``*-small`` yeast variants —
+the identical code path as the paper's Networks I/II at a scale pure
+Python finishes in seconds (see DESIGN.md §2 for the substitution
+rationale).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def _write_artifact(name: str, content: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def write_artifact():
+    """Callable fixture: persist a rendered table under benchmarks/out/."""
+    return _write_artifact
+
+
+@pytest.fixture(scope="session")
+def yeast1_small_problem():
+    from repro.efm.api import build_problem_with_split
+    from repro.models.variants import yeast_1_small
+    from repro.network.compression import compress_network
+
+    rec = compress_network(yeast_1_small())
+    problem, split_rec = build_problem_with_split(rec.reduced)
+    return rec, problem, split_rec

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Ethanol-production analysis of the S. cerevisiae network.
+
+The paper's motivating applications ([1]-[12]) use EFMs to characterize
+cellular capabilities.  This example computes the modes of a constrained
+variant of the paper's Network I (Figures 3-4) and asks classic
+metabolic-engineering questions:
+
+* how many modes ferment glucose to ethanol, and at what molar yields?
+* which mode achieves the best ethanol yield, and through which pathway?
+* how do the modes distribute across product classes (ethanol, acetate,
+  succinate, glycerol, biomass)?
+
+Run:  python examples/yeast_ethanol.py
+"""
+
+import numpy as np
+
+from repro import compute_efms
+from repro.efm.analysis import best_yield_mode, classify_modes, yields
+from repro.models.variants import yeast_1_small
+
+
+def main() -> None:
+    network = yeast_1_small()
+    print(network)
+
+    result = compute_efms(network)
+    print(result.summary())
+    result.validate(check_minimality=False)
+
+    # R62 is the glucose-PTS uptake; R66 exports ethanol.
+    ethanol_modes = result.with_active("R66")
+    print(
+        f"\n{ethanol_modes.n_efms} of {result.n_efms} modes export ethanol "
+        f"({100 * ethanol_modes.n_efms / result.n_efms:.1f}%)"
+    )
+
+    y = yields(result, "R66", "R62")
+    usable = y[~np.isnan(y)]
+    print(
+        f"ethanol yield over glucose: min {np.nanmin(y):.3f}, "
+        f"mean {usable.mean():.3f}, max {np.nanmax(y):.3f} mol/mol"
+    )
+
+    best_i, best_y = best_yield_mode(result, "R66", "R62")
+    print(f"\nbest ethanol mode (yield {best_y:.3f} mol ethanol / mol glucose):")
+    for rxn, flux in sorted(result.mode_as_dict(best_i).items()):
+        print(f"  {rxn:>6s}: {flux: .4f}")
+
+    classes = classify_modes(
+        result,
+        {
+            "ethanol (R66)": "R66",
+            "acetate (R63)": "R63",
+            "succinate (R67)": "R67",
+            "glycerol (R60)": "R60",
+            "biomass (R70)": "R70",
+            "CO2 (R69)": "R69",
+        },
+    )
+    print("\nmode classes (a mode may use several products):")
+    for label, count in classes.items():
+        print(f"  {label:>16s}: {count}")
+
+    # Theoretical check: fermentation caps at 2 ethanol per glucose.
+    assert np.nanmax(y) <= 2.0 + 1e-6, "ethanol yield cannot exceed 2 mol/mol"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Benchmark harness: experiment runners regenerating each of the paper's
+tables and the ablation studies, plus plain-text table rendering."""
+
+from repro.bench.runner import (
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.bench.tables import Table
+
+__all__ = ["run_table2", "run_table3", "run_table4", "Table"]

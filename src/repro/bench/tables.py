@@ -1,0 +1,83 @@
+"""Plain-text table rendering in the style of the paper's Tables II-IV."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+
+@dataclasses.dataclass
+class Table:
+    """A titled grid of cells with a caption trail (the "Total # ..."
+    lines under the paper's tables)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = dataclasses.field(default_factory=list)
+    footer: list[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_footer(self, line: str) -> None:
+        self.footer.append(line)
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.columns]
+        for row in cells:
+            for j, c in enumerate(row):
+                widths[j] = max(widths[j], len(c))
+
+        def line(items: Sequence[str]) -> str:
+            return "| " + " | ".join(c.rjust(w) for c, w in zip(items, widths)) + " |"
+
+        sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        out = [self.title, sep, line(self.columns), sep]
+        out.extend(line(row) for row in cells)
+        out.append(sep)
+        out.extend(self.footer)
+        return "\n".join(out)
+
+    def column_values(self, name: str) -> list[Any]:
+        j = self.columns.index(name)
+        return [row[j] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(x: Any) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 100:
+            return f"{x:,.1f}"
+        if abs(x) >= 0.01:
+            return f"{x:.2f}"
+        return f"{x:.2e}"
+    if isinstance(x, int):
+        return f"{x:,}"
+    return str(x)
+
+
+def fmt_count(n: int) -> str:
+    """Thousands-separated integer, paper style (159,599,700,951)."""
+    return f"{n:,}"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human time for footers: '2h 57min 23 secs' like Table IV."""
+    t = float(t)
+    h = int(t // 3600)
+    m = int((t % 3600) // 60)
+    s = t % 60
+    if h:
+        return f"{h}h {m}min {s:.0f} secs"
+    if m:
+        return f"{m}min {s:.2f} secs"
+    return f"{s:.2f} secs"

@@ -1,0 +1,8 @@
+"""Simulated HPC platform substrate: machine specs for modeled timing and
+the per-node memory model that reproduces the paper's out-of-memory
+behaviour."""
+
+from repro.cluster.memory import MemoryModel
+from repro.cluster.platform import BLUE_GENE_P, CALHOUN, PlatformSpec
+
+__all__ = ["MemoryModel", "BLUE_GENE_P", "CALHOUN", "PlatformSpec"]

@@ -1,0 +1,78 @@
+"""Per-node memory accounting for the replicated mode matrix.
+
+The combinatorial parallel Nullspace Algorithm replicates the current mode
+matrix on every rank (§IV.B: "requires the storage of the current nullspace
+matrix in the local memory across all compute nodes at each step").  This
+model charges each rank for that replica — values plus packed supports plus
+a transient factor for the iteration's working set — and raises
+:class:`~repro.errors.OutOfMemoryError` when the configured capacity is
+exceeded, reproducing the paper's Network II failure ("abandoned at the
+59th iteration, two iterations before completion") and driving the adaptive
+divide-and-conquer splitter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.state import ModeMatrix
+from repro.errors import OutOfMemoryError
+
+
+@dataclasses.dataclass
+class MemoryModel:
+    """Models one rank's memory budget for mode storage.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Budget for the replicated mode matrix on one rank.  Pass e.g.
+        ``JobShape.memory_per_rank`` (scaled down for tractable benchmark
+        networks) or an artificial cap for tests.
+    working_factor:
+        Multiplier accounting for the iteration's transient allocations
+        (candidate chunks, dedup buffers).  The replicated matrix is
+        charged at ``working_factor * nbytes``.
+    enforcing:
+        When False the model only records the peak (dry-run mode).
+    """
+
+    capacity_bytes: int
+    working_factor: float = 1.5
+    enforcing: bool = True
+    peak_bytes: int = 0
+    last_iteration: int = -1
+
+    def charge(self, iteration: int, modes: ModeMatrix) -> None:
+        """Account one iteration's footprint; raises on overflow."""
+        need = int(self.working_factor * modes.nbytes())
+        self.peak_bytes = max(self.peak_bytes, need)
+        self.last_iteration = iteration
+        if self.enforcing and need > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"replicated mode matrix needs {need} bytes at iteration "
+                f"{iteration} but the rank capacity is {self.capacity_bytes}",
+                iteration=iteration,
+                required_bytes=need,
+                capacity_bytes=self.capacity_bytes,
+            )
+
+    def check(self, iteration: int, modes: ModeMatrix) -> None:
+        """Alias matching the ``memory_check`` callback signature."""
+        self.charge(iteration, modes)
+
+    def fresh(self) -> "MemoryModel":
+        """A zeroed copy with the same configuration (per-subproblem use)."""
+        return MemoryModel(
+            capacity_bytes=self.capacity_bytes,
+            working_factor=self.working_factor,
+            enforcing=self.enforcing,
+        )
+
+
+def estimate_mode_bytes(n_modes: int, q: int) -> int:
+    """Closed-form footprint estimate for ``n_modes`` float modes over
+    ``q`` reactions (values + packed supports), used by the divide-and-
+    conquer planner before a subproblem runs."""
+    words = max(1, (q + 63) // 64)
+    return n_modes * (8 * q + 8 * words)

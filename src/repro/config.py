@@ -1,0 +1,109 @@
+"""Global numeric policy and algorithm options.
+
+The Nullspace Algorithm is a pivoting-free double-description iteration and
+is sensitive to how "zero" is decided.  All tolerance decisions in the
+package flow through :class:`NumericPolicy` so tests can tighten or relax
+them in one place, and :class:`AlgorithmOptions` collects every tunable of
+the core algorithm (ordering heuristic, acceptance test, chunk sizes, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+#: Default relative threshold below which a flux value is treated as zero.
+DEFAULT_ZERO_TOL: float = 1e-9
+
+#: Default tolerance for SVD-based rank decisions (scaled by matrix norm).
+DEFAULT_RANK_TOL: float = 1e-8
+
+#: Number of candidate pairs materialized per vectorized generation chunk.
+#: Bounds peak memory of candidate generation: a chunk allocates
+#: ``chunk_size * n_rows`` float64 values plus the packed supports.
+DEFAULT_PAIR_CHUNK: int = 65536
+
+Arithmetic = Literal["float", "exact"]
+AcceptanceTest = Literal["rank", "bittree", "both"]
+OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NumericPolicy:
+    """Tolerances governing zero tests and rank decisions.
+
+    Parameters
+    ----------
+    zero_tol:
+        Entries with ``|x| <= zero_tol * max(1, column_max)`` count as zero
+        when supports are extracted.  Columns are renormalized to unit
+        max-norm after every combination, so in practice this behaves as an
+        absolute threshold on normalized data.
+    rank_tol:
+        Relative singular-value cutoff for numeric rank computation.
+    """
+
+    zero_tol: float = DEFAULT_ZERO_TOL
+    rank_tol: float = DEFAULT_RANK_TOL
+
+    def __post_init__(self) -> None:
+        if not (0 < self.zero_tol < 1e-2):
+            raise ValueError(f"zero_tol out of sane range: {self.zero_tol}")
+        if not (0 < self.rank_tol < 1e-2):
+            raise ValueError(f"rank_tol out of sane range: {self.rank_tol}")
+
+
+#: Shared default policy instance.
+DEFAULT_POLICY = NumericPolicy()
+
+
+@dataclasses.dataclass(frozen=True)
+class AlgorithmOptions:
+    """Tunables of the (serial and parallel) Nullspace Algorithm.
+
+    Parameters
+    ----------
+    arithmetic:
+        ``"float"`` runs the vectorized float64 path (production);
+        ``"exact"`` runs an arbitrary-precision integer path (slow, used for
+        verification and the paper's worked example).
+    acceptance:
+        Candidate acceptance test: the paper's algebraic ``"rank"`` test
+        (nullity of the stoichiometric submatrix == 1), the efmtool-style
+        ``"bittree"`` superset test, or ``"both"`` (cross-checking; testing
+        aid).
+    ordering:
+        Row-processing order heuristic.  ``"paper"`` = fewest non-zeros
+        first with reversible rows pushed last (§II.C); ``"natural"`` keeps
+        kernel order; ``"most-nonzeros"`` is the adversarial ablation;
+        ``"random"`` uses ``ordering_seed``.
+    pair_chunk:
+        Vectorized candidate-generation chunk size (pairs per chunk).
+    ordering_seed:
+        Seed for ``ordering="random"``.
+    record_trace:
+        Keep a per-iteration snapshot of the mode matrix (used to reproduce
+        the paper's Figure 2; expensive — small networks only).
+    """
+
+    arithmetic: Arithmetic = "float"
+    acceptance: AcceptanceTest = "rank"
+    ordering: OrderingName = "paper"
+    pair_chunk: int = DEFAULT_PAIR_CHUNK
+    ordering_seed: int = 0
+    record_trace: bool = False
+    policy: NumericPolicy = DEFAULT_POLICY
+
+    def __post_init__(self) -> None:
+        if self.arithmetic not in ("float", "exact"):
+            raise ValueError(f"unknown arithmetic {self.arithmetic!r}")
+        if self.acceptance not in ("rank", "bittree", "both"):
+            raise ValueError(f"unknown acceptance test {self.acceptance!r}")
+        if self.ordering not in ("paper", "natural", "most-nonzeros", "random"):
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        if self.pair_chunk < 1:
+            raise ValueError("pair_chunk must be positive")
+
+
+#: Shared default options instance.
+DEFAULT_OPTIONS = AlgorithmOptions()

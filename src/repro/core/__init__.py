@@ -1,0 +1,18 @@
+"""Core of the Nullspace Algorithm (Algorithm 1 of the paper) and its
+building blocks: problem setup, mode matrices, candidate generation, the
+algebraic rank test, duplicate removal, and per-iteration statistics."""
+
+from repro.core.kernel import NullspaceProblem, build_problem
+from repro.core.serial import NullspaceResult, nullspace_algorithm
+from repro.core.state import ModeMatrix
+from repro.core.stats import IterationStats, RunStats
+
+__all__ = [
+    "NullspaceProblem",
+    "build_problem",
+    "NullspaceResult",
+    "nullspace_algorithm",
+    "ModeMatrix",
+    "IterationStats",
+    "RunStats",
+]

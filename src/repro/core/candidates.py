@@ -1,0 +1,147 @@
+"""Candidate elementary-mode generation (GenerateEFMCands).
+
+At iteration ``k`` every mode with a positive entry in row ``k`` pairs with
+every mode with a negative entry; the convex combination
+
+    cand = (-neg_k) * pos_mode + (pos_k) * neg_mode
+
+annihilates row ``k`` (both coefficients are positive, so the combination
+stays inside the flux cone).  Generation is vectorized in chunks of
+``options.pair_chunk`` pairs; a packed-support union popcount prefilter
+("summary rejection": a support larger than ``rank+1`` cannot have nullity
+1) drops most pairs before any float work happens.
+
+The pair index space ``[0, n_pos*n_neg)`` is linearized as
+``p = i * n_neg + j``; the combinatorial parallel algorithm hands each rank
+a strided or blocked subrange of the same space, so the serial path here is
+literally the one-rank special case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import AlgorithmOptions
+from repro.core.state import ModeMatrix
+from repro.core.stats import IterationStats
+from repro.linalg import bitset
+
+
+@dataclasses.dataclass(frozen=True)
+class PairRange:
+    """A subrange of the linearized pair space assigned to one worker.
+
+    ``strided`` ranges take pairs ``start, start+step, start+2*step, ...``
+    (the combinatorial distribution of [17] — adjacent pairs land on
+    different ranks, balancing cost); plain block ranges take
+    ``[start, stop)`` with ``step == 1``.
+    """
+
+    start: int
+    stop: int
+    step: int = 1
+
+    def count(self) -> int:
+        if self.stop <= self.start:
+            return 0
+        return (self.stop - self.start + self.step - 1) // self.step
+
+
+def full_range(n_pairs: int) -> PairRange:
+    """The serial (single worker) pair range."""
+    return PairRange(0, n_pairs, 1)
+
+
+def strided_range(n_pairs: int, rank: int, size: int) -> PairRange:
+    """Rank ``rank`` of ``size``'s combinatorial (cyclic) share."""
+    return PairRange(rank, n_pairs, size)
+
+
+def block_range(n_pairs: int, rank: int, size: int) -> PairRange:
+    """Rank ``rank`` of ``size``'s contiguous block share."""
+    base, extra = divmod(n_pairs, size)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return PairRange(start, stop, 1)
+
+
+def generate_candidates(
+    modes: ModeMatrix,
+    k: int,
+    pos_idx: np.ndarray,
+    neg_idx: np.ndarray,
+    pair_range: PairRange,
+    rank_bound: int,
+    options: AlgorithmOptions,
+    stats: IterationStats,
+    adjacency=None,
+) -> ModeMatrix:
+    """Generate this worker's candidates for iteration row ``k``.
+
+    Returns a :class:`ModeMatrix` of candidates that survived the
+    union-support prefilter (and, when ``adjacency`` is given, the
+    combinatorial pair-adjacency test — see
+    :class:`repro.core.bittree.AdjacencyTest`; it must run per-pair, before
+    any dedup).  ``rank_bound`` is the rank of the stoichiometry: a
+    candidate whose support exceeds ``rank_bound + 1`` entries is summarily
+    rejected (the prefilter tests the pair's support *union*, which
+    overcounts the true support by at least the annihilated row ``k``,
+    hence the ``+ 2`` below).
+    """
+    n_neg = neg_idx.size
+    vals = modes.values
+    sup = modes.supports.words
+    col = vals[:, k]
+
+    kept_chunks: list[np.ndarray] = []
+    n_prefilter_kept = 0
+    n_adjacent = 0
+    max_union = rank_bound + 2
+
+    for p_chunk in _iter_pair_chunks(pair_range, options.pair_chunk):
+        i_sel = pos_idx[p_chunk // n_neg]
+        j_sel = neg_idx[p_chunk % n_neg]
+        union = sup[i_sel] | sup[j_sel]
+        ok = bitset.popcount(union) <= max_union
+        if not ok.any():
+            continue
+        i_ok = i_sel[ok]
+        j_ok = j_sel[ok]
+        n_prefilter_kept += int(i_ok.size)
+        if adjacency is not None:
+            adj = adjacency.adjacent(union[ok])
+            i_ok = i_ok[adj]
+            j_ok = j_ok[adj]
+            n_adjacent += int(i_ok.size)
+            if i_ok.size == 0:
+                continue
+        a = -col[j_ok]  # > 0
+        b = col[i_ok]  # > 0
+        cand = vals[i_ok] * a[:, None] + vals[j_ok] * b[:, None]
+        kept_chunks.append(cand)
+
+    stats.n_prefilter_kept += n_prefilter_kept
+    stats.n_adjacent += n_adjacent
+    if not kept_chunks:
+        return ModeMatrix.empty(modes.q, exact=modes.exact, policy=modes.policy)
+    raw = np.concatenate(kept_chunks, axis=0)
+    return ModeMatrix(raw, policy=modes.policy)
+
+
+def _iter_pair_chunks(pair_range: PairRange, chunk: int):
+    """Yield int64 arrays of linear pair indices covering ``pair_range`` in
+    chunks of at most ``chunk`` pairs."""
+    if pair_range.step == 1:
+        for start in range(pair_range.start, pair_range.stop, chunk):
+            yield np.arange(
+                start, min(start + chunk, pair_range.stop), dtype=np.int64
+            )
+    else:
+        total = pair_range.count()
+        for c0 in range(0, total, chunk):
+            c1 = min(c0 + chunk, total)
+            yield pair_range.start + pair_range.step * np.arange(
+                c0, c1, dtype=np.int64
+            )

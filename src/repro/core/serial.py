@@ -1,0 +1,246 @@
+"""The serial Nullspace Algorithm (Algorithm 1 of the paper).
+
+One iteration per row of the (permuted) mode matrix, starting at the first
+non-identity row:
+
+1. split modes on the sign of the current row's entry;
+2. ``GenerateEFMCands`` — pair every positive with every negative mode;
+3. ``Sort&RemoveDuplicates`` — canonicalize supports, drop duplicates
+   (both among candidates and against surviving zero-entry modes — the
+   paper's §II.C toy trace dedups candidate (1,1,0,0,1,1,0,0) against the
+   identical mode already present in K⁽⁴⁾);
+4. ``RankTests`` — the algebraic acceptance test (or the bit-pattern
+   alternative, per options);
+5. ``RemoveNegColumns`` — irreversible rows drop negative-entry modes;
+6. concatenate survivors and accepted candidates.
+
+The same iteration body is reused by the parallel drivers, which override
+the pair range and insert a communicate/merge step; ``iterate_row`` is the
+shared kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
+from repro.core import bittree
+from repro.core.candidates import PairRange, full_range, generate_candidates
+from repro.core.kernel import NullspaceProblem
+from repro.core.ranktest import rank_test
+from repro.core.state import ModeMatrix
+from repro.core.stats import IterationStats, PhaseTimer, RunStats
+from repro.core.trace import IterationTrace
+from repro.errors import AlgorithmError
+from repro.linalg import bitset, rational
+
+
+@dataclasses.dataclass
+class NullspaceResult:
+    """Outcome of a Nullspace Algorithm run.
+
+    ``modes`` is in the problem's *processing* permutation; use
+    :meth:`efms_input_order` for the caller's column order.  For
+    divide-and-conquer runs stopped early (``stopped_at < q``) the modes
+    are an intermediate matrix, not yet a full EFM set.
+    """
+
+    problem: NullspaceProblem
+    modes: ModeMatrix
+    stats: RunStats
+    stopped_at: int
+    trace: list[IterationTrace] = dataclasses.field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.stopped_at >= self.problem.q
+
+    @property
+    def n_efms(self) -> int:
+        if not self.complete:
+            raise AlgorithmError("run stopped early; modes are not yet EFMs")
+        return self.modes.n_modes
+
+    def efms_input_order(self) -> np.ndarray:
+        """EFMs as a ``(n_modes, q)`` float64 array with columns in the
+        problem's input reaction order."""
+        if not self.complete:
+            raise AlgorithmError("run stopped early; modes are not yet EFMs")
+        vals = self.modes.values
+        if self.modes.exact:
+            vals = np.array(
+                [[float(x) for x in row] for row in vals], dtype=np.float64
+            ).reshape(vals.shape)
+        return np.ascontiguousarray(vals[:, self.problem.inverse_perm()])
+
+
+MemoryCheck = Callable[[int, ModeMatrix], None]
+
+
+def check_acceptance_applicable(
+    problem: NullspaceProblem, options: AlgorithmOptions, stop: int
+) -> None:
+    """The combinatorial (bit-pattern) adjacency test is exact only when
+    every *processed* row is irreversible — the double-description
+    extreme-ray/elementary-mode equivalence it relies on needs the
+    intermediate cones pointed.  Reversible rows demand the algebraic rank
+    test (or splitting the reversible reactions first, which
+    ``compute_efms`` does automatically for ``acceptance='bittree'``)."""
+    if options.acceptance == "rank":
+        return
+    rev_rows = [
+        problem.names[i]
+        for i in range(problem.first_row, stop)
+        if problem.reversible[i]
+    ]
+    if rev_rows:
+        raise AlgorithmError(
+            f"acceptance={options.acceptance!r} requires irreversible "
+            f"processed rows, but {rev_rows} are reversible; split them "
+            "first (compute_efms does this automatically) or use "
+            "acceptance='rank'"
+        )
+
+
+def iterate_row(
+    modes: ModeMatrix,
+    k: int,
+    problem: NullspaceProblem,
+    options: AlgorithmOptions,
+    stats: IterationStats,
+    *,
+    pair_range_for: Callable[[int], PairRange] = full_range,
+    n_exact: rational.FractionMatrix | None = None,
+) -> tuple[ModeMatrix, ModeMatrix]:
+    """One iteration body shared by serial and parallel drivers.
+
+    Returns ``(kept, accepted_candidates)``: the old modes surviving the
+    row (zero + positive + negative-if-reversible) and the locally
+    generated, deduplicated, acceptance-tested candidates.  The caller
+    concatenates (serial) or communicates/merges first (parallel).
+    """
+    col = modes.column(k)
+    if modes.exact:
+        signs = np.array([(x > 0) - (x < 0) for x in col], dtype=np.int8)
+    else:
+        signs = np.sign(col).astype(np.int8)
+    pos_idx = np.nonzero(signs > 0)[0]
+    neg_idx = np.nonzero(signs < 0)[0]
+    zero_mask = signs == 0
+    stats.n_pos = int(pos_idx.size)
+    stats.n_neg = int(neg_idx.size)
+    stats.n_zero = int(zero_mask.sum())
+
+    reversible = bool(problem.reversible[k])
+    n_pairs_total = stats.n_pos * stats.n_neg
+
+    cand = ModeMatrix.empty(modes.q, exact=modes.exact, policy=modes.policy)
+    if n_pairs_total:
+        pr = pair_range_for(n_pairs_total)
+        stats.n_pairs = pr.count()
+        # The combinatorial acceptance test is a per-PAIR adjacency test
+        # and must run during generation, before duplicate removal; the
+        # algebraic rank test is per-ray and runs after dedup (the paper's
+        # Sort&RemoveDuplicates -> RankTests order).
+        adjacency = None
+        if options.acceptance in ("bittree", "both"):
+            with PhaseTimer(stats, "t_rank_test"):
+                adjacency = bittree.AdjacencyTest(modes.supports.words, modes.q, k)
+        with PhaseTimer(stats, "t_gen_cand"):
+            cand = generate_candidates(
+                modes, k, pos_idx, neg_idx, pr, problem.rank, options, stats,
+                adjacency=adjacency,
+            )
+        with PhaseTimer(stats, "t_merge"):
+            before = cand.n_modes
+            cand = cand.dedup()
+            # Drop candidates identical (by support) to zero-entry modes
+            # that survive into the next iteration anyway.
+            if cand.n_modes and stats.n_zero:
+                zero_words = modes.supports.words[zero_mask]
+                dup = bitset.rows_in(cand.supports.words, zero_words)
+                if dup.any():
+                    cand = cand.select(~dup)
+            stats.n_duplicates = before - cand.n_modes
+        if options.acceptance in ("rank", "both"):
+            stats.n_tested = cand.n_modes
+            with PhaseTimer(stats, "t_rank_test"):
+                accept = rank_test(
+                    cand,
+                    problem.n_perm,
+                    problem.rank,
+                    policy=options.policy,
+                    n_exact=n_exact,
+                )
+            if options.acceptance == "both" and not accept.all():
+                raise AlgorithmError(
+                    "adjacency test accepted a candidate the rank test "
+                    f"rejects at row {k} ({int((~accept).sum())} of "
+                    f"{cand.n_modes})"
+                )
+            cand = cand.select(accept)
+        stats.n_accepted = cand.n_modes
+
+    if reversible:
+        kept = modes
+        stats.n_neg_removed = 0
+    else:
+        keep_mask = signs >= 0
+        stats.n_neg_removed = int((~keep_mask).sum())
+        kept = modes.select(np.nonzero(keep_mask)[0])
+    return kept, cand
+
+
+def nullspace_algorithm(
+    problem: NullspaceProblem,
+    *,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    stop_row: int | None = None,
+    memory_check: MemoryCheck | None = None,
+) -> NullspaceResult:
+    """Run Algorithm 1 on a prepared problem.
+
+    Parameters
+    ----------
+    stop_row:
+        Process rows up to (excluding) this position — Proposition 1's
+        early stop for divide-and-conquer subproblems.  Default: all rows.
+    memory_check:
+        Called after every iteration with ``(iteration, modes)``; may raise
+        :class:`repro.errors.OutOfMemoryError` to model a node-memory
+        limit.
+    """
+    t_start = time.perf_counter()
+    exact = options.arithmetic == "exact"
+    n_exact = rational.from_numpy(problem.n_perm) if exact else None
+    modes = ModeMatrix.from_kernel(problem.kernel, exact=exact, policy=options.policy)
+    stats = RunStats()
+    stop = problem.q if stop_row is None else stop_row
+    if not (problem.first_row <= stop <= problem.q):
+        raise AlgorithmError(f"stop_row {stop} out of range")
+    check_acceptance_applicable(problem, options, stop)
+    trace: list[IterationTrace] = []
+
+    for k in range(problem.first_row, stop):
+        it = IterationStats(
+            position=k, reaction=problem.names[k], reversible=bool(problem.reversible[k])
+        )
+        kept, cand = iterate_row(modes, k, problem, options, it, n_exact=n_exact)
+        with PhaseTimer(it, "t_merge"):
+            modes = kept.concat(cand) if cand.n_modes else kept
+        it.n_modes_end = modes.n_modes
+        stats.add(it)
+        stats.peak_mode_bytes = max(stats.peak_mode_bytes, modes.nbytes())
+        if options.record_trace:
+            trace.append(IterationTrace.capture(k, problem, modes))
+        if memory_check is not None:
+            memory_check(k, modes)
+
+    stats.t_total = time.perf_counter() - t_start
+    return NullspaceResult(
+        problem=problem, modes=modes, stats=stats, stopped_at=stop, trace=trace
+    )

@@ -1,0 +1,211 @@
+"""Mode-matrix state of the Nullspace Algorithm.
+
+A :class:`ModeMatrix` is the current set of (candidate) flux modes: a dense
+value matrix with **modes as rows** (shape ``(n_modes, q)``, row-major so a
+mode is contiguous) plus the packed support bitsets kept exactly in sync.
+Sub-threshold values are snapped to exact ``0.0`` at construction, so sign
+splits (``> 0`` / ``< 0`` / ``== 0``) never disagree with the support bits.
+
+Exact mode: the same container holds ``dtype=object`` arrays of
+``fractions.Fraction``; zero tests are then exact comparisons.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_POLICY, NumericPolicy
+from repro.errors import AlgorithmError
+from repro.linalg import bitset
+from repro.linalg.bitset import PackedSupports
+from repro.linalg.numeric import column_normalize
+
+
+class ModeMatrix:
+    """An immutable batch of flux modes with synchronized supports.
+
+    Parameters
+    ----------
+    values:
+        ``(n_modes, q)`` array, float64 or object (Fraction).  Rows are
+        modes.  The constructor normalizes (unit max-norm for floats,
+        smallest co-prime integers for exact mode) and snaps zeros.
+    policy:
+        Zero-threshold policy (ignored in exact mode).
+    normalized:
+        Skip normalization/snapping when the caller guarantees the rows are
+        already canonical (used on slicing paths).
+    """
+
+    __slots__ = ("values", "supports", "policy")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        policy: NumericPolicy = DEFAULT_POLICY,
+        normalized: bool = False,
+    ) -> None:
+        values = np.atleast_2d(values)
+        if values.ndim != 2:
+            raise AlgorithmError("ModeMatrix expects a 2-D (n_modes, q) array")
+        if not normalized:
+            if values.dtype == object:
+                values = _integerize_rows(values)
+            else:
+                values = np.ascontiguousarray(values, dtype=np.float64)
+                # Normalize per mode (rows) -> transpose view for the
+                # column-normalizing helper.
+                values = column_normalize(values.T).T.copy()
+                colmax = np.abs(values).max(axis=1) if values.size else np.zeros(0)
+                thresh = policy.zero_tol * np.maximum(colmax, 1.0)
+                values[np.abs(values) <= thresh[:, None]] = 0.0
+        self.values = values
+        self.policy = policy
+        if values.dtype == object:
+            mask = np.array(
+                [[x != 0 for x in row] for row in values], dtype=bool
+            ).reshape(values.shape)
+        else:
+            mask = values != 0.0
+        self.supports = PackedSupports.from_bool(mask.T)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_parts(
+        cls,
+        values: np.ndarray,
+        supports: PackedSupports,
+        policy: NumericPolicy = DEFAULT_POLICY,
+    ) -> "ModeMatrix":
+        """Reassemble a ModeMatrix from already-canonical parts (message
+        deserialization path — skips normalization and repacking)."""
+        if values.shape[0] != len(supports):
+            raise AlgorithmError("values/supports mode count mismatch")
+        out = cls.__new__(cls)
+        out.values = values
+        out.supports = supports
+        out.policy = policy
+        return out
+
+    @classmethod
+    def empty(cls, q: int, *, exact: bool = False,
+              policy: NumericPolicy = DEFAULT_POLICY) -> "ModeMatrix":
+        dtype = object if exact else np.float64
+        return cls(np.zeros((0, q), dtype=dtype), policy=policy, normalized=True)
+
+    @classmethod
+    def from_kernel(cls, kernel: np.ndarray, *, exact: bool = False,
+                    policy: NumericPolicy = DEFAULT_POLICY) -> "ModeMatrix":
+        """Build the initial mode set from a ``(q, n_free)`` kernel whose
+        *columns* are the starting modes."""
+        vals = kernel.T
+        if exact:
+            obj = np.empty(vals.shape, dtype=object)
+            for i in range(vals.shape[0]):
+                for j in range(vals.shape[1]):
+                    x = vals[i, j]
+                    obj[i, j] = x if isinstance(x, Fraction) else Fraction(x).limit_denominator(10**9)
+            vals = obj
+        return cls(vals, policy=policy)
+
+    # -- basic protocol ------------------------------------------------------
+
+    @property
+    def n_modes(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def q(self) -> int:
+        """Number of reactions (columns of the value matrix)."""
+        return self.values.shape[1]
+
+    @property
+    def exact(self) -> bool:
+        return self.values.dtype == object
+
+    def __len__(self) -> int:
+        return self.n_modes
+
+    def nbytes(self) -> int:
+        """Replicated storage footprint of this mode set (values +
+        supports) — what the paper's memory bottleneck is made of."""
+        if self.exact:
+            # Fractions are heap objects; approximate with 32 bytes/entry.
+            return self.values.size * 32 + self.supports.nbytes()
+        return int(self.values.nbytes) + self.supports.nbytes()
+
+    # -- row access -----------------------------------------------------------
+
+    def column(self, k: int) -> np.ndarray:
+        """Values of reaction-position ``k`` across all modes, shape
+        ``(n_modes,)``."""
+        return self.values[:, k]
+
+    def select(self, idx: np.ndarray | Sequence[int]) -> "ModeMatrix":
+        """Subset of modes by index or boolean mask (supports stay in
+        sync without re-normalization)."""
+        idx = np.asarray(idx)
+        out = ModeMatrix.__new__(ModeMatrix)
+        out.values = self.values[idx]
+        out.policy = self.policy
+        out.supports = self.supports[idx]
+        return out
+
+    def concat(self, other: "ModeMatrix") -> "ModeMatrix":
+        if other.q != self.q:
+            raise AlgorithmError("concat of ModeMatrix with mismatched q")
+        if other.exact != self.exact:
+            raise AlgorithmError("cannot mix exact and float ModeMatrix")
+        out = ModeMatrix.__new__(ModeMatrix)
+        out.values = np.concatenate([self.values, other.values], axis=0)
+        out.policy = self.policy
+        out.supports = self.supports.concat(other.supports)
+        return out
+
+    def dedup(self) -> "ModeMatrix":
+        """Remove modes with duplicate supports, keeping first occurrences
+        (the paper's Sort&RemoveDuplicates)."""
+        _, first = bitset.unique_rows(self.supports.words)
+        if len(first) == self.n_modes:
+            return self
+        return self.select(first)
+
+    def modes_as_columns(self) -> np.ndarray:
+        """Values with modes as columns, shape ``(q, n_modes)`` — the
+        paper's matrix orientation (eq. (5)), float64."""
+        if self.exact:
+            return np.array(
+                [[float(x) for x in row] for row in self.values], dtype=np.float64
+            ).T.reshape(self.q, self.n_modes)
+        return self.values.T.copy()
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else "float"
+        return f"<ModeMatrix {self.n_modes} modes x {self.q} reactions ({kind})>"
+
+
+def _integerize_rows(values: np.ndarray) -> np.ndarray:
+    """Scale each object-dtype row to smallest co-prime integers (as
+    Fractions), preserving sign."""
+    import math
+
+    out = np.empty(values.shape, dtype=object)
+    for i in range(values.shape[0]):
+        row = [x if isinstance(x, Fraction) else Fraction(x) for x in values[i]]
+        denom_lcm = 1
+        for x in row:
+            denom_lcm = denom_lcm * x.denominator // math.gcd(denom_lcm, x.denominator)
+        ints = [int(x * denom_lcm) for x in row]
+        g = 0
+        for v in ints:
+            g = math.gcd(g, abs(v))
+        if g > 1:
+            ints = [v // g for v in ints]
+        for j, v in enumerate(ints):
+            out[i, j] = Fraction(v)
+    return out

@@ -1,0 +1,168 @@
+"""Per-iteration and per-run statistics of the Nullspace Algorithm.
+
+The paper's tables report, per run: generation time, rank-test time,
+communication time, merge time, total time, the total number of generated
+candidate modes (Table II: 159,599,700,951 for Network I) and the final
+EFM count.  Every counter needed to regenerate those rows is collected
+here; the parallel drivers add communication metrics on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterator
+
+
+@dataclasses.dataclass
+class IterationStats:
+    """Counters for one processed row of the mode matrix."""
+
+    position: int
+    reaction: str
+    reversible: bool
+    n_pos: int = 0
+    n_neg: int = 0
+    n_zero: int = 0
+    #: pos x neg pairs formed — the paper's "generated candidate modes".
+    n_pairs: int = 0
+    #: pairs surviving the union-support summary rejection.
+    n_prefilter_kept: int = 0
+    #: pairs passing the combinatorial adjacency test (bittree mode only).
+    n_adjacent: int = 0
+    #: candidates removed as duplicates (among candidates + vs zero columns).
+    n_duplicates: int = 0
+    #: candidates submitted to the acceptance (rank / bittree) test.
+    n_tested: int = 0
+    n_accepted: int = 0
+    #: old negative-entry columns dropped (irreversible rows only).
+    n_neg_removed: int = 0
+    #: mode count after the iteration.
+    n_modes_end: int = 0
+    t_gen_cand: float = 0.0
+    t_rank_test: float = 0.0
+    t_merge: float = 0.0
+    t_communicate: float = 0.0
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Aggregated run statistics (one rank's view, or the serial run)."""
+
+    iterations: list[IterationStats] = dataclasses.field(default_factory=list)
+    #: wall-clock of the whole run (set by the driver).
+    t_total: float = 0.0
+    #: bytes sent by this rank (parallel runs).
+    bytes_sent: int = 0
+    #: messages sent by this rank (parallel runs).
+    messages_sent: int = 0
+    #: peak replicated mode-matrix footprint observed (bytes).
+    peak_mode_bytes: int = 0
+
+    def add(self, it: IterationStats) -> None:
+        self.iterations.append(it)
+
+    # -- table-row accessors -------------------------------------------------
+
+    @property
+    def total_candidates(self) -> int:
+        """The paper's "Total # candidate modes"."""
+        return sum(it.n_pairs for it in self.iterations)
+
+    @property
+    def total_rank_tests(self) -> int:
+        return sum(it.n_tested for it in self.iterations)
+
+    @property
+    def t_gen_cand(self) -> float:
+        return sum(it.t_gen_cand for it in self.iterations)
+
+    @property
+    def t_rank_test(self) -> float:
+        return sum(it.t_rank_test for it in self.iterations)
+
+    @property
+    def t_merge(self) -> float:
+        return sum(it.t_merge for it in self.iterations)
+
+    @property
+    def t_communicate(self) -> float:
+        return sum(it.t_communicate for it in self.iterations)
+
+    @property
+    def n_efms(self) -> int:
+        return self.iterations[-1].n_modes_end if self.iterations else 0
+
+    def phase_times(self) -> dict[str, float]:
+        """The four phase rows of Tables II/III plus the total."""
+        return {
+            "gen_cand": self.t_gen_cand,
+            "rank_test": self.t_rank_test,
+            "communicate": self.t_communicate,
+            "merge": self.t_merge,
+            "total": self.t_total,
+        }
+
+    def merged_with(self, other: "RunStats") -> "RunStats":
+        """Element-wise union of two ranks' stats (max times per iteration —
+        the bulk-synchronous model: each superstep costs its slowest rank —
+        and summed candidate counters)."""
+        if len(self.iterations) != len(other.iterations):
+            raise ValueError("cannot merge RunStats with different iteration counts")
+        merged = RunStats(
+            t_total=max(self.t_total, other.t_total),
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            messages_sent=self.messages_sent + other.messages_sent,
+            peak_mode_bytes=max(self.peak_mode_bytes, other.peak_mode_bytes),
+        )
+        for a, b in zip(self.iterations, other.iterations):
+            merged.add(
+                IterationStats(
+                    position=a.position,
+                    reaction=a.reaction,
+                    reversible=a.reversible,
+                    n_pos=a.n_pos,
+                    n_neg=a.n_neg,
+                    n_zero=a.n_zero,
+                    n_pairs=a.n_pairs + b.n_pairs,
+                    n_prefilter_kept=a.n_prefilter_kept + b.n_prefilter_kept,
+                    n_adjacent=a.n_adjacent + b.n_adjacent,
+                    n_duplicates=a.n_duplicates + b.n_duplicates,
+                    n_tested=a.n_tested + b.n_tested,
+                    n_accepted=a.n_accepted + b.n_accepted,
+                    n_neg_removed=a.n_neg_removed,
+                    n_modes_end=max(a.n_modes_end, b.n_modes_end),
+                    t_gen_cand=max(a.t_gen_cand, b.t_gen_cand),
+                    t_rank_test=max(a.t_rank_test, b.t_rank_test),
+                    t_merge=max(a.t_merge, b.t_merge),
+                    t_communicate=max(a.t_communicate, b.t_communicate),
+                )
+            )
+        return merged
+
+
+class PhaseTimer:
+    """Tiny helper accumulating wall-clock into an IterationStats field."""
+
+    __slots__ = ("_stats", "_field", "_t0")
+
+    def __init__(self, stats: IterationStats, field: str) -> None:
+        self._stats = stats
+        self._field = field
+        self._t0 = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        setattr(
+            self._stats,
+            self._field,
+            getattr(self._stats, self._field) + time.perf_counter() - self._t0,
+        )
+
+
+def iter_phase_names() -> Iterator[str]:
+    """Canonical phase ordering used by the table renderers."""
+    yield from ("gen_cand", "rank_test", "communicate", "merge", "total")

@@ -1,0 +1,271 @@
+"""The combined parallel Nullspace Algorithm (Algorithm 3).
+
+For each subset of the divide-and-conquer partition:
+
+1. delete the zero-flux reactions' columns from the reduced stoichiometry
+   (line 8) and recompute the kernel (line 9);
+2. pin the non-zero-flux reactions to the bottom rows (line 11);
+3. run the combinatorial parallel algorithm (Algorithm 2) up to — but not
+   including — the pinned rows (line 14, Proposition 1);
+4. keep only the columns with non-zero flux in every pinned row — with a
+   positive sign where the pinned reaction is irreversible (lines 15–17);
+5. re-insert zero rows for the deleted reactions (lines 18–21).
+
+The union over all subsets is the complete EFM set; the subsets are
+pairwise disjoint by construction (distinct zero/non-zero patterns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
+from repro.core.kernel import build_problem
+from repro.core.stats import RunStats
+from repro.cluster.memory import MemoryModel
+from repro.dnc.subsets import SubsetSpec, enumerate_subsets, validate_partition
+from repro.errors import (
+    AlgorithmError,
+    DependentPartitionError,
+    OutOfMemoryError,
+    PartitionError,
+    ReversibleIdentityError,
+)
+from repro.efm.splitting import SplitRecord, split_reversible
+from repro.mpi.spmd import BackendName
+from repro.mpi.tracing import CommTrace
+from repro.network.model import MetabolicNetwork
+from repro.parallel.combinatorial import combinatorial_parallel
+from repro.parallel.pairs import PairStrategyName
+
+
+@dataclasses.dataclass
+class SubsetResult:
+    """Outcome of one divide-and-conquer subproblem."""
+
+    spec: SubsetSpec
+    #: EFM rows in the *reduced network's* reaction order (zero columns
+    #: re-inserted); empty array when the subset is empty or OOM'd.
+    efms: np.ndarray
+    stats: RunStats | None
+    rank_traces: list[CommTrace]
+    #: memory failure, if the subproblem exceeded the modeled capacity.
+    oom: OutOfMemoryError | None = None
+    wall_time: float = 0.0
+
+    @property
+    def n_efms(self) -> int:
+        return int(self.efms.shape[0])
+
+    @property
+    def n_candidates(self) -> int:
+        return self.stats.total_candidates if self.stats is not None else 0
+
+    @property
+    def completed(self) -> bool:
+        return self.oom is None
+
+
+@dataclasses.dataclass
+class CombinedRunResult:
+    """Aggregated outcome of Algorithm 3 over every subset."""
+
+    network: MetabolicNetwork
+    subsets: list[SubsetResult]
+
+    @property
+    def complete(self) -> bool:
+        return all(s.completed for s in self.subsets)
+
+    @property
+    def n_efms(self) -> int:
+        return sum(s.n_efms for s in self.subsets)
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(s.n_candidates for s in self.subsets)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(s.wall_time for s in self.subsets)
+
+    def efms(self) -> np.ndarray:
+        """Union of all subsets, rows = modes, reduced-network order."""
+        if not self.complete:
+            raise AlgorithmError("some subsets failed; EFM set incomplete")
+        parts = [s.efms for s in self.subsets if s.n_efms]
+        if not parts:
+            return np.zeros((0, self.network.n_reactions))
+        return np.concatenate(parts, axis=0)
+
+
+def solve_subset(
+    reduced: MetabolicNetwork,
+    spec: SubsetSpec,
+    n_ranks: int,
+    *,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    backend: BackendName = "sequential",
+    pair_strategy: PairStrategyName = "strided",
+    memory_model: MemoryModel | None = None,
+    auto_split: bool = True,
+) -> SubsetResult:
+    """Solve one subset's subproblem with Algorithm 2 (lines 3–22)."""
+    validate_partition(reduced, spec.partition)
+    t0 = time.perf_counter()
+    q_red = reduced.n_reactions
+
+    sub = reduced.without_reactions(spec.zero, suffix=f"-s{spec.subset_id}") if spec.zero else reduced
+    force_last = list(spec.nonzero)
+
+    # Build the subproblem; auto-split reversible reactions that cannot be
+    # pivots in the shrunken stoichiometry.  Partition reactions carry
+    # pivot priority; if one is still linearly dependent (reversible only),
+    # Proposition 1's early stop is unsound for this subset and we fall
+    # back to full enumeration of the subnetwork plus filtering.
+    split_rec: SplitRecord | None = None
+    work_net = sub
+    fallback = False
+    for _ in range(2 * q_red + 2):
+        try:
+            problem = build_problem(
+                work_net,
+                options=options,
+                force_last=() if fallback else force_last,
+            )
+            break
+        except DependentPartitionError:
+            fallback = True
+        except ReversibleIdentityError as exc:
+            if not auto_split:
+                raise
+            rec = split_reversible(work_net, exc.reactions)
+            split_rec = rec if split_rec is None else _compose_splits(split_rec, rec)
+            work_net = rec.split
+        except AlgorithmError as exc:
+            if "trivial nullspace" in str(exc):
+                # The shrunken network admits no flux at all: empty subset.
+                return SubsetResult(
+                    spec=spec,
+                    efms=np.zeros((0, q_red)),
+                    stats=None,
+                    rank_traces=[],
+                    wall_time=time.perf_counter() - t0,
+                )
+            raise
+    else:  # pragma: no cover - each retry strictly reduces failure modes
+        raise PartitionError(f"subset {spec.label()}: splitting did not converge")
+
+    stop = problem.q if fallback else problem.q - len(force_last)
+    try:
+        run = combinatorial_parallel(
+            problem,
+            n_ranks,
+            options=options,
+            backend=backend,
+            pair_strategy=pair_strategy,
+            stop_row=stop,
+            memory_model=memory_model.fresh() if memory_model is not None else None,
+        )
+    except OutOfMemoryError as exc:
+        return SubsetResult(
+            spec=spec,
+            efms=np.zeros((0, q_red)),
+            stats=None,
+            rank_traces=[],
+            oom=exc,
+            wall_time=time.perf_counter() - t0,
+        )
+
+    res = run.result
+    vals = res.modes.values
+    if res.modes.exact:
+        vals = np.array(
+            [[float(x) for x in row] for row in vals], dtype=np.float64
+        ).reshape(vals.shape)
+
+    # Lines 15–17: keep columns with non-zero flux in every pinned row
+    # (strictly positive where the pinned reaction is irreversible: a
+    # negative flux there can never be part of a valid EFM, and the
+    # candidates that would have zeroed it belong to other subsets).
+    if not fallback:
+        keep = np.ones(vals.shape[0], dtype=bool)
+        for pos in range(stop, problem.q):
+            v = vals[:, pos]
+            keep &= (v != 0.0) if problem.reversible[pos] else (v > 0.0)
+        vals = vals[keep]
+    vals = vals[:, problem.inverse_perm()]  # work_net reaction order
+
+    if split_rec is not None:
+        vals = split_rec.fold_modes(vals)  # back to sub's reaction order
+        # fold_modes returns columns in split_rec.original order == sub order
+    src = split_rec.original if split_rec is not None else sub
+
+    if fallback:
+        # Full enumeration ran: filter the finished (hence sign-feasible)
+        # EFMs by the non-zero pattern instead of by pinned rows.
+        keep = np.ones(vals.shape[0], dtype=bool)
+        for name in force_last:
+            keep &= np.abs(vals[:, src.reaction_index(name)]) > 1e-12
+        vals = vals[keep]
+
+    # Lines 18–21: expand back to the reduced network's full reaction set.
+    efms = np.zeros((vals.shape[0], q_red))
+    for j, name in enumerate(src.reaction_names):
+        efms[:, reduced.reaction_index(name)] = vals[:, j]
+
+    return SubsetResult(
+        spec=spec,
+        efms=efms,
+        stats=run.stats,
+        rank_traces=run.rank_traces,
+        wall_time=time.perf_counter() - t0,
+    )
+
+
+def _compose_splits(first: SplitRecord, second: SplitRecord) -> SplitRecord:
+    """Compose two successive split records into one original->final map."""
+    return SplitRecord(
+        original=first.original,
+        split=second.split,
+        split_names=first.split_names + second.split_names,
+    )
+
+
+def combined_parallel(
+    reduced: MetabolicNetwork,
+    partition: tuple[str, ...] | list[str],
+    n_ranks: int,
+    *,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    backend: BackendName = "sequential",
+    pair_strategy: PairStrategyName = "strided",
+    memory_model: MemoryModel | None = None,
+    subset_ids: list[int] | None = None,
+) -> CombinedRunResult:
+    """Algorithm 3: solve every subset of the partition independently.
+
+    ``subset_ids`` restricts the run to selected subsets (each subset is an
+    independent job in the paper's setting — Table IV runs them as separate
+    Blue Gene/P submissions).
+    """
+    validate_partition(reduced, tuple(partition))
+    specs = enumerate_subsets(tuple(partition))
+    if subset_ids is not None:
+        specs = [specs[i] for i in subset_ids]
+    results = [
+        solve_subset(
+            reduced,
+            spec,
+            n_ranks,
+            options=options,
+            backend=backend,
+            pair_strategy=pair_strategy,
+            memory_model=memory_model,
+        )
+        for spec in specs
+    ]
+    return CombinedRunResult(network=reduced, subsets=results)

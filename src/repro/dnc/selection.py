@@ -1,0 +1,182 @@
+"""Partition-reaction selection heuristics (the paper's future-work #2).
+
+"It is yet unclear how to select the subset of reactions in
+divide-and-conquer that may maximally decrease the number of intermediate
+candidate elementary flux modes ... An automated method to select the
+subset and estimate the approximate number of elementary modes for a given
+reaction partition would be helpful" (§IV.A, §IV.C).
+
+Three strategies are provided:
+
+- ``"tail"`` — what the paper did by hand: take the reactions occupying
+  the last ``q_sub`` rows of the reordered nullspace matrix (reversible,
+  densest rows).  Zeroing a reaction that would otherwise be processed
+  last prunes the largest intermediate sets.
+- ``"balance"`` — score candidate reactions by the sign balance of their
+  kernel row: a row with many positive *and* many negative entries
+  generates the most pairs, so splitting on it removes the most work.
+- ``"probe"`` — empirical: run each candidate single-reaction split with a
+  small mode-count budget and keep the reactions whose zero-side probe
+  generates the fewest candidates (a miniature of the full run; costs a
+  few truncated runs).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
+from repro.core.kernel import build_problem  # noqa: F401 - re-exported for tests
+from repro.core.serial import nullspace_algorithm
+from repro.core.state import ModeMatrix
+from repro.errors import OutOfMemoryError, PartitionError
+from repro.network.model import MetabolicNetwork
+
+SelectionMethod = Literal["tail", "balance", "probe"]
+
+
+def select_partition_reactions(
+    reduced: MetabolicNetwork,
+    q_sub: int,
+    *,
+    method: SelectionMethod = "tail",
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    probe_mode_budget: int = 2000,
+) -> tuple[str, ...]:
+    """Choose ``q_sub`` partition reactions for Algorithm 3.
+
+    Returns names ordered so the last element should occupy the bottom row
+    (the :class:`~repro.dnc.subsets.SubsetSpec` convention).
+    """
+    if q_sub < 1:
+        raise PartitionError("q_sub must be >= 1")
+    if q_sub >= reduced.n_reactions:
+        raise PartitionError("q_sub must be smaller than the reaction count")
+    from repro.efm.api import build_problem_with_split  # noqa: PLC0415 - cycle guard
+    from repro.efm.splitting import FWD_SUFFIX, BWD_SUFFIX  # noqa: PLC0415
+
+    problem, _split = build_problem_with_split(reduced, options)
+
+    def unsplit(name: str) -> str:
+        for suffix in (FWD_SUFFIX, BWD_SUFFIX):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+        return name
+
+    def last_positions(ranked_names: list[str]) -> tuple[str, ...]:
+        """Map (possibly split) names to original names, dedup preserving
+        order, keep the last q_sub."""
+        seen: dict[str, None] = {}
+        for nm in ranked_names:
+            seen.setdefault(unsplit(nm), None)
+        out = list(seen)
+        return tuple(out[-q_sub:]) if len(out) >= q_sub else tuple(out)
+
+    if method == "tail":
+        chosen = last_positions(list(problem.names))
+    elif method == "balance":
+        scores = _balance_scores(problem.kernel, problem.names, problem.n_free)
+        ranked = sorted(scores, key=scores.get)  # ascending: best last
+        chosen = last_positions(ranked)
+    elif method == "probe":
+        candidates = {unsplit(n) for n in problem.names[problem.n_free :]}
+        scores = _probe_scores(reduced, sorted(candidates), options, probe_mode_budget)
+        ranked = sorted(scores, key=scores.get)  # ascending cost: best first
+        chosen = tuple(sorted(ranked[:q_sub],
+                              key=lambda nm: reduced.reaction_index(nm)))
+    else:
+        raise PartitionError(f"unknown selection method {method!r}")
+    if len(chosen) < q_sub:
+        raise PartitionError(
+            f"could only select {len(chosen)} partition reactions, wanted {q_sub}"
+        )
+    return chosen
+
+
+def _balance_scores(
+    kernel: np.ndarray, names: Sequence[str], n_free: int
+) -> dict[str, float]:
+    """pos*neg product of each processed kernel row (higher = the row
+    would generate more pairs = better to partition on)."""
+    scores: dict[str, float] = {}
+    for pos in range(n_free, kernel.shape[0]):
+        row = kernel[pos]
+        n_pos = int((row > 0).sum())
+        n_neg = int((row < 0).sum())
+        scores[names[pos]] = float(n_pos * n_neg) + 0.001 * (n_pos + n_neg)
+    return scores
+
+
+def _probe_scores(
+    reduced: MetabolicNetwork,
+    candidates: Sequence[str],
+    options: AlgorithmOptions,
+    mode_budget: int,
+) -> dict[str, float]:
+    """Truncated-run cost of the zero-side subproblem of each candidate."""
+    scores: dict[str, float] = {}
+    for name in candidates:
+        sub = reduced.without_reactions([name], suffix="-probe")
+        try:
+            from repro.efm.api import build_problem_with_split  # noqa: PLC0415
+
+            prob, _split = build_problem_with_split(sub, options)
+        except Exception:
+            scores[name] = float("inf")
+            continue
+        try:
+            res = nullspace_algorithm(
+                prob,
+                options=options,
+                memory_check=_budget_check(mode_budget),
+            )
+            scores[name] = float(res.stats.total_candidates)
+        except OutOfMemoryError as exc:
+            # Hit the probe budget: score by pressure at the cutoff.
+            scores[name] = float(exc.required_bytes or mode_budget) * 1e6
+    return scores
+
+
+def _budget_check(mode_budget: int):
+    def check(iteration: int, modes: ModeMatrix) -> None:
+        if modes.n_modes > mode_budget:
+            raise OutOfMemoryError(
+                f"probe budget of {mode_budget} modes exceeded",
+                iteration=iteration,
+                required_bytes=modes.n_modes,
+                capacity_bytes=mode_budget,
+            )
+
+    return check
+
+
+def estimate_subset_counts(
+    reduced: MetabolicNetwork,
+    partition: Sequence[str],
+    *,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    mode_budget: int = 5000,
+) -> dict[int, int | None]:
+    """Cheap per-subset candidate estimates by truncated runs.
+
+    Returns subset_id -> total candidates, or ``None`` where the probe
+    budget was exceeded (subset probably large).  Used to pre-plan Table IV
+    style runs before committing compute.
+    """
+    from repro.cluster.memory import MemoryModel, estimate_mode_bytes  # noqa: PLC0415
+    from repro.dnc.combined import solve_subset  # noqa: PLC0415 - cycle guard
+    from repro.dnc.subsets import enumerate_subsets  # noqa: PLC0415
+
+    budget = MemoryModel(
+        capacity_bytes=estimate_mode_bytes(mode_budget, reduced.n_reactions),
+        working_factor=1.0,
+    )
+    out: dict[int, int | None] = {}
+    for spec in enumerate_subsets(tuple(partition)):
+        result = solve_subset(
+            reduced, spec, 1, options=options, memory_model=budget
+        )
+        out[spec.subset_id] = result.n_candidates if result.completed else None
+    return out

@@ -1,0 +1,193 @@
+"""EFM application analyses — the uses motivating the paper's intro.
+
+* Gene/reaction knockout studies (refs [4]–[7]): which modes survive a
+  deletion, and which target sets abolish a capability while preserving
+  another (the "minimal cut set" flavor).
+* Yield analysis / phenotype prediction (refs [1]–[3]): per-mode ratios of
+  a product flux to a substrate flux, and the yield-optimal modes.
+* Flux-distribution decomposition scaffolding (refs [8]–[12]): express an
+  observed flux vector as a non-negative combination of modes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.efm.result import EFMResult
+from repro.errors import AlgorithmError
+
+
+def knockout(result: EFMResult, reactions: Sequence[str], *, tol: float = 1e-9) -> EFMResult:
+    """Modes surviving deletion of ``reactions`` (all must carry zero flux).
+
+    The EFM set of the knocked-out network is exactly the subset of the
+    wild-type modes inactive on every deleted reaction — no recomputation
+    needed (this closure property is why EFMs suit knockout screening).
+    """
+    fluxes = result.fluxes
+    mask = np.ones(result.n_efms, dtype=bool)
+    for r in reactions:
+        j = result.network.reaction_index(r)
+        mask &= np.abs(fluxes[:, j]) <= tol
+    return dataclasses.replace(result, fluxes=fluxes[mask])
+
+
+@dataclasses.dataclass(frozen=True)
+class KnockoutReport:
+    """Outcome of a single- or multi-reaction knockout screen entry."""
+
+    targets: tuple[str, ...]
+    n_surviving: int
+    n_wild_type: int
+    #: modes through the reaction of interest that survive (None if no
+    #: objective given).
+    n_objective_surviving: int | None = None
+
+    @property
+    def lethal(self) -> bool:
+        return self.n_surviving == 0
+
+
+def knockout_screen(
+    result: EFMResult,
+    *,
+    targets: Sequence[str] | None = None,
+    objective: str | None = None,
+    max_set_size: int = 1,
+) -> list[KnockoutReport]:
+    """Screen single (and optionally multi-) reaction deletions.
+
+    Parameters
+    ----------
+    targets:
+        Reactions to consider (default: all).
+    objective:
+        If given, also report how many modes through this reaction survive
+        each knockout — e.g. ``objective="R66"`` (ethanol export) asks
+        which deletions preserve ethanol production.
+    max_set_size:
+        1 = single knockouts; 2 = also all pairs; etc.  Combinatorial —
+        keep small.
+    """
+    names = list(targets) if targets is not None else list(result.network.reaction_names)
+    reports: list[KnockoutReport] = []
+    obj_modes = result.with_active(objective) if objective is not None else None
+    for size in range(1, max_set_size + 1):
+        for combo in itertools.combinations(names, size):
+            surviving = knockout(result, combo)
+            n_obj = None
+            if obj_modes is not None:
+                n_obj = knockout(obj_modes, combo).n_efms
+            reports.append(
+                KnockoutReport(
+                    targets=combo,
+                    n_surviving=surviving.n_efms,
+                    n_wild_type=result.n_efms,
+                    n_objective_surviving=n_obj,
+                )
+            )
+    return reports
+
+
+def minimal_cut_sets(
+    result: EFMResult,
+    objective: str,
+    *,
+    max_size: int = 2,
+    candidates: Sequence[str] | None = None,
+) -> list[tuple[str, ...]]:
+    """Reaction sets whose deletion abolishes every mode through
+    ``objective`` (brute-force over small set sizes; refs [4]).
+
+    Returns minimal sets only (no returned set contains another).
+    """
+    target_modes = result.with_active(objective)
+    if target_modes.n_efms == 0:
+        raise AlgorithmError(f"no modes use {objective!r}; nothing to cut")
+    sup = target_modes.supports()
+    names = list(candidates) if candidates is not None else [
+        n for n in result.network.reaction_names if n != objective
+    ]
+    idx = {n: result.network.reaction_index(n) for n in names}
+    cuts: list[tuple[str, ...]] = []
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(names, size):
+            if any(set(c) < set(combo) for c in cuts):
+                continue  # a subset already cuts everything
+            cols = [idx[n] for n in combo]
+            if sup[:, cols].any(axis=1).all():
+                cuts.append(combo)
+    return cuts
+
+
+def yields(
+    result: EFMResult, product: str, substrate: str, *, tol: float = 1e-9
+) -> np.ndarray:
+    """Per-mode molar yield ``|flux(product)| / |flux(substrate)|``.
+
+    Modes not consuming the substrate get yield NaN (filter before use).
+    """
+    jp = result.network.reaction_index(product)
+    js = result.network.reaction_index(substrate)
+    prod = np.abs(result.fluxes[:, jp])
+    subs = np.abs(result.fluxes[:, js])
+    out = np.full(result.n_efms, np.nan)
+    active = subs > tol
+    out[active] = prod[active] / subs[active]
+    return out
+
+
+def best_yield_mode(
+    result: EFMResult, product: str, substrate: str
+) -> tuple[int, float]:
+    """Index and value of the yield-optimal mode (NaN-safe)."""
+    y = yields(result, product, substrate)
+    if np.isnan(y).all():
+        raise AlgorithmError(f"no mode consumes {substrate!r}")
+    i = int(np.nanargmax(y))
+    return i, float(y[i])
+
+
+def classify_modes(
+    result: EFMResult, markers: Mapping[str, str], *, tol: float = 1e-9
+) -> dict[str, int]:
+    """Count modes by activity pattern over named marker reactions.
+
+    ``markers`` maps a label to a reaction name; a mode is counted under
+    every label whose reaction it uses.  A ``"(silent)"`` bucket counts
+    modes using none of the markers.
+    """
+    counts = {label: 0 for label in markers}
+    counts["(silent)"] = 0
+    cols = {label: result.network.reaction_index(r) for label, r in markers.items()}
+    for row in result.fluxes:
+        hit = False
+        for label, j in cols.items():
+            if abs(row[j]) > tol:
+                counts[label] += 1
+                hit = True
+        if not hit:
+            counts["(silent)"] += 1
+    return counts
+
+
+def decompose_flux(
+    result: EFMResult, observed: np.ndarray, *, rcond: float = 1e-10
+) -> np.ndarray:
+    """Non-negative least-squares decomposition of an observed flux vector
+    onto the modes (refs [8]–[12]): weights ``w >= 0`` minimizing
+    ``|| F.T w - observed ||``.
+
+    Uses scipy's NNLS.  Returns the weight vector (length ``n_efms``).
+    """
+    import scipy.optimize  # noqa: PLC0415
+
+    observed = np.asarray(observed, dtype=np.float64)
+    if observed.shape != (result.network.n_reactions,):
+        raise AlgorithmError("observed flux vector has wrong length")
+    w, _ = scipy.optimize.nnls(result.fluxes.T, observed)
+    return w

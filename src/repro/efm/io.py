@@ -1,0 +1,137 @@
+"""Plain-text IO for networks and EFM sets.
+
+Formats are deliberately simple and diff-friendly:
+
+* **Network files** (``*.rxn``): one reaction equation per line in the
+  paper's Figure 3–5 notation, ``#`` comments, plus optional directives
+  ``@name <network name>`` and ``@external <species>...``.
+* **EFM files** (``*.efm``): a header line ``# reactions: r1 r2 ...``
+  followed by one tab-separated flux row per mode.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.efm.result import EFMResult
+from repro.errors import ParseError
+from repro.network.model import MetabolicNetwork
+from repro.network.parser import format_reaction, network_from_equations
+
+
+def dump_network(network: MetabolicNetwork, fp: TextIO) -> None:
+    """Write a network in the reaction-equation format.
+
+    Only internal species are reconstructable from a
+    :class:`MetabolicNetwork`, so exchange markers are emitted as comments.
+    """
+    fp.write(f"@name {network.name}\n")
+    for rxn in network.reactions:
+        line = format_reaction(rxn)
+        if rxn.exchange:
+            line += "  # exchange"
+        fp.write(line + "\n")
+
+
+def dumps_network(network: MetabolicNetwork) -> str:
+    buf = io.StringIO()
+    dump_network(network, buf)
+    return buf.getvalue()
+
+
+def load_network(fp: TextIO, *, default_name: str = "unnamed") -> MetabolicNetwork:
+    """Read a network written by :func:`dump_network` (or hand-authored in
+    the same notation)."""
+    name = default_name
+    externals: list[str] = []
+    specs: list[str] = []
+    for lineno, raw in enumerate(fp, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("@name"):
+            parts = line.split(maxsplit=1)
+            if len(parts) != 2:
+                raise ParseError(f"line {lineno}: @name needs a value")
+            name = parts[1]
+        elif line.startswith("@external"):
+            externals.extend(line.split()[1:])
+        elif line.startswith("@"):
+            raise ParseError(f"line {lineno}: unknown directive {line.split()[0]!r}")
+        else:
+            specs.append(line)
+    if not specs:
+        raise ParseError("network file contains no reactions")
+    return network_from_equations(name, specs, externals=externals)
+
+
+def loads_network(text: str, *, default_name: str = "unnamed") -> MetabolicNetwork:
+    return load_network(io.StringIO(text), default_name=default_name)
+
+
+def save_network(network: MetabolicNetwork, path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        dump_network(network, fp)
+
+
+def read_network(path: str | Path) -> MetabolicNetwork:
+    p = Path(path)
+    with open(p, encoding="utf-8") as fp:
+        return load_network(fp, default_name=p.stem)
+
+
+def dump_efms(result: EFMResult, fp: TextIO, *, fmt: str = "%.12g") -> None:
+    """Write an EFM set: reaction-name header + one row per mode."""
+    fp.write("# network: " + result.network.name + "\n")
+    fp.write("# method: " + result.method + "\n")
+    fp.write("# reactions: " + " ".join(result.network.reaction_names) + "\n")
+    for row in result.fluxes:
+        fp.write("\t".join(fmt % x for x in row) + "\n")
+
+
+def load_efms(fp: TextIO, network: MetabolicNetwork) -> EFMResult:
+    """Read an EFM set back against a network (validates the header)."""
+    header_names: tuple[str, ...] | None = None
+    method = "loaded"
+    rows: list[list[float]] = []
+    for lineno, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("reactions:"):
+                header_names = tuple(body.split(":", 1)[1].split())
+            elif body.startswith("method:"):
+                method = body.split(":", 1)[1].strip()
+            continue
+        try:
+            rows.append([float(x) for x in line.split("\t")])
+        except ValueError:
+            raise ParseError(f"line {lineno}: bad flux row") from None
+    if header_names is None:
+        raise ParseError("EFM file lacks a '# reactions:' header")
+    if header_names != network.reaction_names:
+        raise ParseError(
+            "EFM file reaction order does not match the supplied network"
+        )
+    fluxes = (
+        np.array(rows, dtype=np.float64)
+        if rows
+        else np.zeros((0, network.n_reactions))
+    )
+    return EFMResult(network=network, fluxes=fluxes, method=method)
+
+
+def save_efms(result: EFMResult, path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        dump_efms(result, fp)
+
+
+def read_efms(path: str | Path, network: MetabolicNetwork) -> EFMResult:
+    with open(path, encoding="utf-8") as fp:
+        return load_efms(fp, network)

@@ -1,0 +1,231 @@
+"""Packed support patterns (bitsets) for flux modes.
+
+Each mode's support (the set of reactions with non-zero flux) is packed into
+``n_words = ceil(n_rows / 64)`` unsigned 64-bit words.  All hot operations
+of the Nullspace Algorithm — duplicate removal, the candidate prefilter
+(union popcount), and the bit-pattern superset test — reduce to bitwise ops
+on a ``(n_modes, n_words)`` uint64 array, which numpy vectorizes.
+
+Bit ``r`` of a support (row ``r`` of the mode matrix) lives in word
+``r >> 6`` at position ``r & 63``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinAlgError
+
+#: Dtype of packed support words.
+WORD = np.uint64
+BITS_PER_WORD = 64
+
+
+def n_words_for(n_rows: int) -> int:
+    """Number of uint64 words needed for ``n_rows`` support bits."""
+    return max(1, (n_rows + BITS_PER_WORD - 1) // BITS_PER_WORD)
+
+
+class PackedSupports:
+    """A batch of packed support patterns.
+
+    Thin, validated wrapper around a ``(n_modes, n_words)`` uint64 array.
+    Instances are append-free; all operations return new arrays/objects.
+    """
+
+    __slots__ = ("words", "n_rows")
+
+    def __init__(self, words: np.ndarray, n_rows: int) -> None:
+        words = np.ascontiguousarray(words, dtype=WORD)
+        if words.ndim != 2:
+            raise LinAlgError("PackedSupports expects a 2-D word array")
+        if words.shape[1] != n_words_for(n_rows):
+            raise LinAlgError(
+                f"word count {words.shape[1]} inconsistent with n_rows={n_rows}"
+            )
+        self.words = words
+        self.n_rows = n_rows
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def empty(cls, n_rows: int) -> "PackedSupports":
+        """Zero-mode batch."""
+        return cls(np.zeros((0, n_words_for(n_rows)), dtype=WORD), n_rows)
+
+    @classmethod
+    def from_bool(cls, mask: np.ndarray) -> "PackedSupports":
+        """Pack a boolean ``(n_rows, n_modes)`` column-support mask."""
+        return cls(pack_supports(mask), mask.shape[0])
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.words.shape[0]
+
+    def __getitem__(self, idx) -> "PackedSupports":
+        sel = self.words[idx]
+        if sel.ndim == 1:
+            sel = sel[None, :]
+        return PackedSupports(sel, self.n_rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedSupports):
+            return NotImplemented
+        return self.n_rows == other.n_rows and np.array_equal(self.words, other.words)
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable array, not hashable
+        raise TypeError("PackedSupports is not hashable")
+
+    def copy(self) -> "PackedSupports":
+        return PackedSupports(self.words.copy(), self.n_rows)
+
+    # -- queries -----------------------------------------------------------
+
+    def popcounts(self) -> np.ndarray:
+        """Support sizes, shape ``(n_modes,)`` int64."""
+        return popcount(self.words)
+
+    def to_bool(self) -> np.ndarray:
+        """Unpack to a boolean ``(n_rows, n_modes)`` mask."""
+        return unpack_supports(self.words, self.n_rows)
+
+    def test_bit(self, row: int) -> np.ndarray:
+        """Boolean vector: does each mode have bit ``row`` set?"""
+        w, b = divmod(row, BITS_PER_WORD)
+        return (self.words[:, w] >> WORD(b)) & WORD(1) != 0
+
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    # -- combination -------------------------------------------------------
+
+    def concat(self, other: "PackedSupports") -> "PackedSupports":
+        if other.n_rows != self.n_rows:
+            raise LinAlgError("concat of PackedSupports with mismatched n_rows")
+        return PackedSupports(np.concatenate([self.words, other.words]), self.n_rows)
+
+
+def pack_supports(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(n_rows, n_modes)`` mask into ``(n_modes, n_words)``
+    uint64 words (bit r of mode j == mask[r, j])."""
+    if mask.ndim != 2:
+        raise LinAlgError("pack_supports expects a 2-D mask")
+    n_rows, n_modes = mask.shape
+    nw = n_words_for(n_rows)
+    padded = np.zeros((nw * BITS_PER_WORD, n_modes), dtype=bool)
+    padded[:n_rows] = mask
+    # (nw, 64, n_modes) -> weight bits within each word.
+    bits = padded.reshape(nw, BITS_PER_WORD, n_modes).astype(WORD)
+    weights = (WORD(1) << np.arange(BITS_PER_WORD, dtype=WORD))[None, :, None]
+    words = (bits * weights).sum(axis=1, dtype=WORD)  # (nw, n_modes)
+    return np.ascontiguousarray(words.T)
+
+
+def unpack_supports(words: np.ndarray, n_rows: int) -> np.ndarray:
+    """Inverse of :func:`pack_supports`."""
+    n_modes, nw = words.shape
+    shifts = np.arange(BITS_PER_WORD, dtype=WORD)
+    bits = ((words[:, :, None] >> shifts[None, None, :]) & WORD(1)).astype(bool)
+    flat = bits.reshape(n_modes, nw * BITS_PER_WORD).T
+    return np.ascontiguousarray(flat[:n_rows])
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a packed word array: shape ``(n_modes,)``."""
+    return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+
+def union_popcount(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Popcount of the bitwise OR of paired rows of ``a`` and ``b``.
+
+    ``a`` and ``b`` must have equal shapes ``(n_pairs, n_words)``; this is
+    the candidate-generation prefilter workhorse.
+    """
+    return np.bitwise_count(a | b).sum(axis=1, dtype=np.int64)
+
+
+def subset_rows(candidates: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """For each candidate row, is *some* reference row a subset of it?
+
+    Strict-or-equal subset test: reference ``r`` is a subset of candidate
+    ``c`` iff ``r & c == r``.  Returns a boolean ``(n_candidates,)`` array
+    that is True when at least one reference (other than an identical
+    pattern — equality also counts True here; callers exclude self-matches
+    by construction).  Complexity O(n_candidates * n_references * n_words)
+    vectorized in chunks to bound memory.
+    """
+    n_c = candidates.shape[0]
+    n_r = references.shape[0]
+    out = np.zeros(n_c, dtype=bool)
+    if n_c == 0 or n_r == 0:
+        return out
+    # Chunk candidates so the broadcast (chunk, n_r, n_words) stays small.
+    chunk = max(1, int(4_000_000 // max(1, n_r * candidates.shape[1])))
+    for start in range(0, n_c, chunk):
+        cs = candidates[start : start + chunk]  # (c, w)
+        hit = ((references[None, :, :] & cs[:, None, :]) == references[None, :, :]).all(
+            axis=2
+        )  # (c, n_r)
+        out[start : start + chunk] = hit.any(axis=1)
+    return out
+
+
+def subset_count_rows(candidates: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """For each candidate row, count reference rows that are subsets of it
+    (``ref & cand == ref``).  Chunked like :func:`subset_rows`."""
+    n_c = candidates.shape[0]
+    n_r = references.shape[0]
+    out = np.zeros(n_c, dtype=np.int64)
+    if n_c == 0 or n_r == 0:
+        return out
+    chunk = max(1, int(4_000_000 // max(1, n_r * candidates.shape[1])))
+    for start in range(0, n_c, chunk):
+        cs = candidates[start : start + chunk]
+        hit = ((references[None, :, :] & cs[:, None, :]) == references[None, :, :]).all(
+            axis=2
+        )
+        out[start : start + chunk] = hit.sum(axis=1)
+    return out
+
+
+def unique_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicate packed rows.
+
+    Returns ``(unique_words, first_index)`` where ``first_index`` gives, for
+    each unique row, the index of its first occurrence in the input (order
+    of unique rows follows np.unique's lexicographic word order, which is a
+    deterministic canonical order — the "sort by binary representation"
+    step of the paper).
+    """
+    if words.shape[0] == 0:
+        return words.copy(), np.zeros(0, dtype=np.intp)
+    view = words.view([("", WORD)] * words.shape[1]).ravel()
+    _, first_idx = np.unique(view, return_index=True)
+    first_idx.sort()  # preserve first-occurrence order for determinism
+    return words[first_idx], first_idx
+
+
+def lexsort_rows(words: np.ndarray) -> np.ndarray:
+    """Indices that sort packed rows lexicographically by words (the
+    paper's "sort the candidate flux modes by binary representation")."""
+    if words.shape[0] == 0:
+        return np.zeros(0, dtype=np.intp)
+    keys = tuple(words[:, k] for k in range(words.shape[1] - 1, -1, -1))
+    return np.lexsort(keys)
+
+
+def rows_in(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Membership test: for each row of ``a``, does it occur in ``b``?
+
+    Both arrays are packed ``(n, n_words)`` uint64.  Used by the parallel
+    merge step to drop candidates another rank already owns.
+    """
+    if a.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if b.shape[0] == 0:
+        return np.zeros(a.shape[0], dtype=bool)
+    dt = [("", WORD)] * a.shape[1]
+    av = np.ascontiguousarray(a).view(dt).ravel()
+    bv = np.ascontiguousarray(b).view(dt).ravel()
+    return np.isin(av, bv)

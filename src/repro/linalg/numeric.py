@@ -1,0 +1,225 @@
+"""Tolerant floating-point linear algebra for the enumeration inner loop.
+
+Everything here is vectorized numpy on float64.  Exactness-critical one-off
+steps (the initial kernel) delegate to :mod:`repro.linalg.rational` and then
+round; per-candidate steps (support extraction, rank tests) use tolerances
+from :class:`repro.config.NumericPolicy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_POLICY, NumericPolicy
+from repro.errors import LinAlgError
+from repro.linalg import rational
+
+
+def column_normalize(cols: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Scale each column of ``cols`` to unit max-norm (in place if ``out``
+    is ``cols``).
+
+    Normalization after every convex combination keeps the zero threshold
+    meaningful across iterations; without it candidate magnitudes drift by
+    orders of magnitude on the yeast networks (biomass coefficients ~4e4).
+    Zero columns are left untouched.
+    """
+    if cols.ndim != 2:
+        raise LinAlgError("column_normalize expects a 2-D array")
+    scale = np.abs(cols).max(axis=0)
+    scale[scale == 0.0] = 1.0
+    if out is None:
+        return cols / scale
+    np.divide(cols, scale, out=out)
+    return out
+
+
+def support_of(cols: np.ndarray, policy: NumericPolicy = DEFAULT_POLICY) -> np.ndarray:
+    """Boolean support mask of each column: shape ``(n_rows, n_cols)``.
+
+    A value counts as non-zero when ``|x| > zero_tol * max(1, colmax)``.
+    """
+    colmax = np.abs(cols).max(axis=0) if cols.size else np.zeros(cols.shape[1])
+    thresh = policy.zero_tol * np.maximum(colmax, 1.0)
+    return np.abs(cols) > thresh
+
+
+def clean_zeros(cols: np.ndarray, policy: NumericPolicy = DEFAULT_POLICY) -> np.ndarray:
+    """Snap sub-threshold entries of each column to exact 0.0 (in place).
+
+    Keeps supports and numeric values consistent so that later sign splits
+    never disagree with the packed support bits.
+    """
+    mask = support_of(cols, policy)
+    cols[~mask] = 0.0
+    return cols
+
+
+def numeric_rank(a: np.ndarray, policy: NumericPolicy = DEFAULT_POLICY) -> int:
+    """Numeric rank via SVD with a relative singular-value cutoff.
+
+    Matches the efmtool convention: cutoff is
+    ``rank_tol * sigma_max * max(shape)`` with an absolute floor so the
+    all-zero matrix has rank 0.
+    """
+    if a.size == 0:
+        return 0
+    s = np.linalg.svd(a, compute_uv=False)
+    if s.size == 0:
+        return 0
+    cutoff = policy.rank_tol * s[0] * max(a.shape)
+    cutoff = max(cutoff, 1e-300)
+    return int(np.count_nonzero(s > cutoff))
+
+
+def nullity(a: np.ndarray, policy: NumericPolicy = DEFAULT_POLICY) -> int:
+    """Right-nullspace dimension: ``n_cols - rank``."""
+    return a.shape[1] - numeric_rank(a, policy)
+
+
+def kernel_identity_form(
+    n: np.ndarray,
+    *,
+    exact: bool = True,
+    policy: NumericPolicy = DEFAULT_POLICY,
+    pivot_priority: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial nullspace matrix of ``n`` in the paper's ``(I; R)`` form.
+
+    Reduces the stoichiometric matrix ``n`` to row echelon form and permutes
+    *columns* (reactions) so the matrix reads ``(-R2, I_m)`` up to row
+    operations; the kernel then takes the block form::
+
+        K = [ I_{q-m'} ]
+            [   R2     ]
+
+    where ``m'`` is the rank of ``n``.  Returns ``(kernel, col_perm)``:
+
+    - ``kernel``: shape ``(q, q - m')`` float64 with ``kernel[perm][:q-m']``
+      equal to the identity, i.e. the *permuted* network ``n[:, col_perm]``
+      has the literal block-form kernel.  The returned kernel rows are in
+      the **permuted** reaction order (free reactions first, pivot reactions
+      below), matching eq. (5) of the paper.
+    - ``col_perm``: the reaction permutation applied, length ``q``; entry
+      ``i`` gives the original column index now in permuted position ``i``.
+
+    ``pivot_priority`` (integer, one entry per column; lower scans earlier)
+    biases which columns become *pivots* (and thus land in the processed
+    ``R2`` block): RREF takes the leftmost independent columns as pivots,
+    so low-priority-value columns are preferred.  The Nullspace Algorithm
+    requires every reversible reaction to be a pivot — a reversible
+    reaction in the identity block would never be processed and its
+    negative-flux EFMs would be silently lost — so callers pass priority
+    ``-1`` for reversible reactions (and ``+1`` for columns they want kept
+    free, e.g. to reproduce the paper's worked example).
+
+    With ``exact=True`` (default) the echelon reduction runs in rational
+    arithmetic and the result is integerized column-wise before conversion
+    to float; the float fallback uses SVD-based pivot detection.
+    """
+    if n.ndim != 2:
+        raise LinAlgError("kernel_identity_form expects a 2-D stoichiometry")
+    q = n.shape[1]
+    if exact:
+        if pivot_priority is not None:
+            prio = np.asarray(pivot_priority)
+            if prio.shape != (q,):
+                raise LinAlgError("pivot_priority length mismatch")
+            # Stable sort: low priority scans first and RREF's
+            # leftmost-independent pivot rule picks those as pivots.
+            scan_order = np.argsort(prio, kind="stable").astype(np.intp)
+        else:
+            scan_order = np.arange(q, dtype=np.intp)
+        nf = np.asarray(n, dtype=np.float64)
+        fm = rational.from_numpy(nf[:, scan_order])
+        _, pivots_scan = rational.rref(fm)
+        pivots = sorted(int(scan_order[p]) for p in pivots_scan)
+        pivot_set = set(pivots)
+        free_cols = [c for c in range(q) if c not in pivot_set]
+        # Permuted order: free (identity-part) reactions first, pivots after.
+        col_perm = np.array(free_cols + pivots, dtype=np.intp)
+        n_free = len(free_cols)
+        # Parametrize the nullspace with *our* free set: scanning the
+        # chosen pivots first forces RREF to use exactly them as pivots,
+        # making the trailing columns the free variables.
+        scan2 = np.array(pivots + free_cols, dtype=np.intp)
+        basis2 = rational.exact_nullspace(rational.from_numpy(nf[:, scan2]))
+        ints = rational.integerize_columns(basis2)
+        arr2 = np.array(ints, dtype=np.float64).reshape(q, n_free)
+        # Rows of arr2 follow scan2 order; reorder to col_perm order
+        # (free block on top -> literal (I; R) shape up to column scaling).
+        pos_in_scan2 = {int(c): i for i, c in enumerate(scan2)}
+        kernel = arr2[[pos_in_scan2[int(c)] for c in col_perm], :]
+    else:
+        basis = _float_nullspace(np.asarray(n, dtype=np.float64), policy)
+        n_free = basis.shape[1]
+        # Choose identity rows greedily: rows whose sub-block is best
+        # conditioned.  Simple approach: QR with column pivoting on basisᵀ.
+        _, _, piv = _qr_pivot(basis.T)
+        top = piv[:n_free]
+        rest = np.array([i for i in range(q) if i not in set(top.tolist())], dtype=np.intp)
+        col_perm = np.concatenate([top, rest])
+        block = basis[top, :]
+        kernel = np.concatenate(
+            [np.eye(n_free), basis[rest, :] @ np.linalg.inv(block)], axis=0
+        )
+    # Sanity: permuted stoichiometry annihilates the kernel.
+    if kernel.size:
+        resid = np.abs(np.asarray(n, dtype=np.float64)[:, col_perm] @ kernel)
+        scale = max(1.0, float(np.abs(kernel).max()), float(np.abs(n).max()))
+        if resid.size and resid.max() > 1e-6 * scale:
+            raise LinAlgError(
+                f"kernel residual too large: {resid.max():.3e} (scale {scale:.3e})"
+            )
+    return kernel, col_perm
+
+
+def _float_nullspace(a: np.ndarray, policy: NumericPolicy) -> np.ndarray:
+    """SVD-based orthonormal nullspace basis (columns)."""
+    if a.size == 0:
+        return np.eye(a.shape[1])
+    u, s, vh = np.linalg.svd(a, full_matrices=True)
+    cutoff = policy.rank_tol * (s[0] if s.size else 0.0) * max(a.shape)
+    rank = int(np.count_nonzero(s > cutoff))
+    return vh[rank:].T.copy()
+
+
+def _qr_pivot(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """QR with column pivoting via scipy; lazy import keeps scipy optional
+    on the hot path."""
+    import scipy.linalg  # noqa: PLC0415
+
+    qm, rm, piv = scipy.linalg.qr(a, pivoting=True, mode="economic")
+    return qm, rm, np.asarray(piv, dtype=np.intp)
+
+
+def gcd_reduce_rows(mat: np.ndarray) -> np.ndarray:
+    """Divide each row of an integer matrix by the GCD of its entries.
+
+    Utility for presenting integerized EFM matrices the way the paper
+    prints them.  Zero rows pass through unchanged.
+    """
+    out = np.array(mat, dtype=np.int64, copy=True)
+    for i in range(out.shape[0]):
+        g = int(np.gcd.reduce(np.abs(out[i])))
+        if g > 1:
+            out[i] //= g
+    return out
+
+
+def columns_proportional(
+    a: np.ndarray, b: np.ndarray, policy: NumericPolicy = DEFAULT_POLICY
+) -> bool:
+    """True iff 1-D vectors ``a`` and ``b`` are positive multiples of each
+    other (same ray)."""
+    sa = support_of(a[:, None], policy)[:, 0]
+    sb = support_of(b[:, None], policy)[:, 0]
+    if not np.array_equal(sa, sb):
+        return False
+    if not sa.any():
+        return True
+    ia = int(np.argmax(np.abs(a)))
+    ratio = b[ia] / a[ia]
+    if ratio <= 0:
+        return False
+    return bool(np.allclose(a * ratio, b, rtol=1e-6, atol=policy.zero_tol))

@@ -1,0 +1,16 @@
+"""Model zoo: the paper's networks, constrained benchmark variants, and a
+seeded random-network generator."""
+
+from repro.models.generators import random_network
+from repro.models.registry import get_network, list_networks
+from repro.models.toy import toy_network
+from repro.models.yeast import yeast_network_1, yeast_network_2
+
+__all__ = [
+    "random_network",
+    "get_network",
+    "list_networks",
+    "toy_network",
+    "yeast_network_1",
+    "yeast_network_2",
+]

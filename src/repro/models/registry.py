@@ -1,0 +1,44 @@
+"""Named-network registry for CLIs, benches and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.models import variants
+from repro.models.toy import toy_network
+from repro.models.yeast import yeast_network_1, yeast_network_2
+from repro.network.model import MetabolicNetwork
+
+_REGISTRY: dict[str, Callable[[], MetabolicNetwork]] = {
+    "toy": toy_network,
+    "yeast-I": yeast_network_1,
+    "yeast-II": yeast_network_2,
+    "yeast-I-medium": variants.yeast_1_medium,
+    "yeast-I-small": variants.yeast_1_small,
+    "yeast-II-medium": variants.yeast_2_medium,
+    "yeast-II-small": variants.yeast_2_small,
+}
+
+
+def list_networks() -> tuple[str, ...]:
+    """Names accepted by :func:`get_network`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_network(name: str) -> MetabolicNetwork:
+    """Build a registered network by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise NetworkError(
+            f"unknown network {name!r}; available: {', '.join(list_networks())}"
+        ) from None
+    return builder()
+
+
+def register_network(name: str, builder: Callable[[], MetabolicNetwork]) -> None:
+    """Register a custom builder (e.g. from user code or tests)."""
+    if name in _REGISTRY:
+        raise NetworkError(f"network {name!r} already registered")
+    _REGISTRY[name] = builder

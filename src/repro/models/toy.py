@@ -1,0 +1,38 @@
+"""The paper's illustrative toy network (Figure 1, eq. (2)).
+
+Five internal metabolites (A, B, C, D, P) and nine reactions, of which
+``r6r`` and ``r8r`` are reversible and ``r1, r4, r8r, r9`` are exchange
+reactions.  The full EFM set has exactly 8 modes (eq. (7)); compression
+merges ``r9`` into ``r3`` and removes metabolite ``D`` (eq. (4)).
+"""
+
+from __future__ import annotations
+
+from repro.network.model import MetabolicNetwork
+from repro.network.parser import network_from_equations
+
+#: Reaction equations transcribed from Figure 1 / eq. (2).
+TOY_EQUATIONS: tuple[str, ...] = (
+    "r1 : Aext => A",
+    "r2 : A => C",
+    "r3 : C => D + P",
+    "r4 : P => Pext",
+    "r5 : A => B",
+    "r6r : B <=> C",
+    "r7 : B => 2 P",
+    "r8r : B <=> Bext",
+    "r9 : D => Dext",
+)
+
+#: Metabolite row order of eq. (2).
+TOY_METABOLITE_ORDER: tuple[str, ...] = ("A", "B", "C", "D", "P")
+
+#: Number of elementary flux modes of the toy network (eq. (7)).
+TOY_N_EFMS: int = 8
+
+
+def toy_network() -> MetabolicNetwork:
+    """Build the Figure 1 network with the paper's row/column ordering."""
+    return network_from_equations(
+        "toy", TOY_EQUATIONS, metabolite_order=TOY_METABOLITE_ORDER
+    )

@@ -1,0 +1,91 @@
+"""Constrained yeast-network variants for tractable benchmarking.
+
+The paper's full Network I needs ~1.6e11 candidate pairs (Table II) — hours
+to days of pure Python.  These variants knock out reactions of Networks
+I/II so the *identical code path* (compression, kernel, pairing, rank test,
+parallel merge, divide-and-conquer) runs at a scale that finishes in
+seconds to minutes, preserving the qualitative structure: a reduced network
+with tens of reactions, a mix of reversible/irreversible rows, and EFM
+counts in the 10^3–10^5 range.
+
+Knocking out a reaction = deleting its column, exactly how EFM-based gene
+knockout studies (paper refs [4]–[7]) model deletions, so these variants
+are themselves realistic workloads, not synthetic mutilations.
+"""
+
+from __future__ import annotations
+
+from repro.models.yeast import yeast_network_1, yeast_network_2
+from repro.network.model import MetabolicNetwork
+
+#: Knockouts defining the "medium" Network I benchmark variant.  Chosen to
+#: disable the glyoxylate bypass, one of the two redundant cytosolic
+#: ICIT->AKG routes, the LAC/FOR fermentation branches and a handful of
+#: mitochondrial shuttles — pruning parallel routes multiplies down the EFM
+#: count while leaving glycolysis, PPP, TCA and biomass production intact.
+YEAST_1_MEDIUM_KNOCKOUTS: tuple[str, ...] = (
+    "R46",  # ICIT -> GLX + SUCC (glyoxylate shunt)
+    "R47",  # ACCOA + GLX -> COA + MAL
+    "R77",  # cytosolic ICIT + NADP -> AKG (duplicate of R23)
+    "R30r",  # lactate fermentation
+    "R64",  # LAC export
+    "R33",  # pyruvate-formate lyase
+    "R65",  # FOR export
+    "R92r",  # AC_mit <-> AC shuttle
+    "R95r",  # ETOH <-> ETOH_mit shuttle
+    "R85",  # mitochondrial ETOH -> ACCOA_mit
+    "R86",  # ACEADH_mit -> AC_mit (NAD)
+    "R87",  # ACEADH_mit -> AC_mit (NADP)
+    "R78r",  # ACEADH_mit <-> ETOH_mit
+    "R100",  # SUCC -> SUCC_mit uniport (duplicate of R98/R89r routes)
+    "R41",  # ACEADH + NADP -> AC (duplicate of R53)
+)
+
+#: Additional knockouts for the "small" variant (quick tests / CI): the
+#: whole pentose-phosphate pathway.  Empirically this leaves 530 EFMs on
+#: Network I (sub-second runs) while keeping glycolysis, fermentation, TCA
+#: and the mitochondrial shuttles — i.e. the structure the algorithms care
+#: about — intact.
+YEAST_1_SMALL_EXTRA: tuple[str, ...] = (
+    "R15",  # G6P oxidative PPP entry
+    "R16r",  # RL5P <-> R5P
+    "R17r",  # RL5P <-> X5P
+    "R18r",  # transketolase 1
+    "R19r",  # transketolase 2
+    "R20r",  # transaldolase
+)
+
+
+def yeast_1_medium() -> MetabolicNetwork:
+    """Network I constrained to a medium-scale benchmark workload."""
+    net = yeast_network_1().without_reactions(YEAST_1_MEDIUM_KNOCKOUTS, suffix="")
+    return MetabolicNetwork("yeast-I-medium", net.metabolites, net.reactions)
+
+
+def yeast_1_small() -> MetabolicNetwork:
+    """Network I constrained to a small, seconds-scale workload."""
+    net = yeast_network_1().without_reactions(
+        YEAST_1_MEDIUM_KNOCKOUTS + YEAST_1_SMALL_EXTRA, suffix=""
+    )
+    return MetabolicNetwork("yeast-I-small", net.metabolites, net.reactions)
+
+
+#: Knockouts defining the Network II benchmark variant.  Same pruning
+#: philosophy; the glucose-kinase / oxidative-phosphorylation additions of
+#: Figure 5 (R1, R14, R56, R57, R61, reversible R54r/R60r/R63r) are kept
+#: because they are what distinguishes Network II.
+YEAST_2_MEDIUM_KNOCKOUTS: tuple[str, ...] = YEAST_1_MEDIUM_KNOCKOUTS
+
+
+def yeast_2_medium() -> MetabolicNetwork:
+    """Network II constrained to a medium-scale benchmark workload."""
+    net = yeast_network_2().without_reactions(YEAST_2_MEDIUM_KNOCKOUTS, suffix="")
+    return MetabolicNetwork("yeast-II-medium", net.metabolites, net.reactions)
+
+
+def yeast_2_small() -> MetabolicNetwork:
+    """Network II constrained to a small, seconds-scale workload."""
+    net = yeast_network_2().without_reactions(
+        YEAST_2_MEDIUM_KNOCKOUTS + YEAST_1_SMALL_EXTRA, suffix=""
+    )
+    return MetabolicNetwork("yeast-II-small", net.metabolites, net.reactions)

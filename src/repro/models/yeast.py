@@ -1,0 +1,166 @@
+"""The paper's *S. cerevisiae* metabolic networks.
+
+Network I (Figures 3 & 4): 62 internal metabolites, 78 reactions, of which
+31 are reversible; the paper computes 1,515,314 EFMs for it (Table II).
+Network II (Figure 5): Network I plus glucose kinetics and oxidative
+phosphorylation — 63 metabolites, 83 reactions, 49,764,544 EFMs (Table IV).
+
+Transcription notes
+-------------------
+* Mitochondrial species (printed "AKG mit" etc.) are spelled ``AKG_mit``.
+* ``*ext`` species are external (outside the system boundary) per the
+  paper's convention; the biomass species ``BIO`` (product of R70) carries
+  no suffix in the figures but must be unconstrained for the network to
+  produce biomass modes, so it is declared external explicitly.
+* Figure 4 prints R94r–R97r with a one-way arrow despite the trailing
+  ``r`` and their placement in "the reversible reactions" figure; we follow
+  the figure title and the naming convention, treating them as reversible.
+* In Network I, ``O2`` is a dead end (R68 imports it; its consumers R56 and
+  R57 only exist in Network II), so compression blocks R68 — mirroring the
+  paper's preprocessing, which also removes constitutively blocked
+  reactions.
+"""
+
+from __future__ import annotations
+
+from repro.network.model import MetabolicNetwork
+from repro.network.parser import network_from_equations
+
+#: Species without the ``ext`` suffix that the model treats as external.
+YEAST_EXTERNALS: tuple[str, ...] = ("BIO",)
+
+#: Figure 3 — the irreversible reactions of Network I.
+YEAST_1_IRREVERSIBLE: tuple[str, ...] = (
+    "R4 : F6P + ATP => FDP + ADP",
+    "R5 : FDP => F6P",
+    "R9 : PYR + ATP => PEP + ADP",
+    "R10 : PEP + ADP => PYR + ATP",
+    "R12 : GL3P + FAD_mit => DHAP + FADH_mit",
+    "R26 : GL3P => GLY",
+    "R15 : G6P + 2 NADP => 2 NADPH + CO2 + RL5P",
+    "R21 : ACCOA + OA => COA + CIT",
+    "R23 : ICIT + NADP => CO2 + NADPH + AKG",
+    "R24 : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit",
+    "R27 : FUM + FADH => SUCC + FAD",
+    "R33 : PYR + COA => ACCOA + FOR",
+    "R37 : PYR + ATP + CO2 => ADP + OA",
+    "R38 : PYR => ACEADH + CO2",
+    "R40 : ACEADH + NADH => ETOH + NAD",
+    "R41 : ACEADH + NADP => AC + NADPH",
+    "R42 : OA + ATP => PEP + CO2 + ADP",
+    "R43 : PEP + CO2 => OA",
+    "R46 : ICIT => GLX + SUCC",
+    "R47 : ACCOA + GLX => COA + MAL",
+    "R53 : ACEADH + NAD => AC + NADH",
+    "R54 : ATP => ADP",
+    "R58 : NADH + NAD_mit => NAD + NADH_mit",
+    "R59 : NH3ext => NH3",
+    "R60 : GLY => GLYext",
+    "R62 : GLCext + PEP => G6P + PYR",
+    "R63 : AC => ACext",
+    "R64 : LAC => LACext",
+    "R65 : FOR => FORext",
+    "R66 : ETOH => ETOHext",
+    "R67 : SUCC => SUCCext",
+    "R68 : O2ext => O2",
+    "R69 : CO2 => CO2ext",
+    "R70 : 7437 G6P + 611 G3P + 437 R5P + 130 E4P + 500 PEP + 2060 PYR"
+    " + 45 ACCOA_mit + 362 ACCOA + 733 AKG + 1232 OA + 1158 NAD + 434 NAD_mit"
+    " + 6413 NADPH + 1568 NADPH_mit + 40141 ATP + 5587 NH3"
+    " => 1000 BIO + 247 CO2 + 45 COA_mit + 362 COA + 1158 NADH + 434 NADH_mit"
+    " + 6413 NADP + 1568 NADP_mit + 40141 ADP",
+    "R72 : PYR_mit + COA_mit + NAD_mit => ACCOA_mit + NADH_mit + CO2",
+    "R73 : OA_mit + ACCOA_mit => CIT_mit + COA_mit",
+    "R75 : ICIT_mit + NAD_mit => AKG_mit + NADH_mit + CO2",
+    "R76 : ICIT_mit + NADP_mit => AKG_mit + NADPH_mit + CO2",
+    "R77 : ICIT + NADP => AKG + NADPH + CO2",
+    "R82 : MAL_mit + NADP_mit => PYR_mit + NADPH_mit + CO2",
+    "R85 : ETOH_mit + COA_mit + 2 ATP_mit + 2 NAD_mit"
+    " => ACCOA_mit + 2 ADP_mit + 2 NADH_mit",
+    "R86 : ACEADH_mit + NAD_mit => AC_mit + NADH_mit",
+    "R87 : ACEADH_mit + NADP_mit => AC_mit + NADPH_mit",
+    "R93 : ADP + ATP_mit => ADP_mit + ATP",
+    "R98 : FUM_mit + SUCC => SUCC_mit + FUM",
+    "R100 : SUCC => SUCC_mit",
+    "R101 : AKG + MAL_mit => AKG_mit + MAL",
+)
+
+#: Figure 4 — the reversible reactions of Network I.
+YEAST_1_REVERSIBLE: tuple[str, ...] = (
+    "R3r : G6P <=> F6P",
+    "R6r : FDP <=> G3P + DHAP",
+    "R7r : G3P <=> DHAP",
+    "R8r : G3P + NAD + ADP <=> PEP + ATP + NADH",
+    "R13r : DHAP + NADH <=> GL3P + NAD",
+    "R16r : RL5P <=> R5P",
+    "R17r : RL5P <=> X5P",
+    "R18r : R5P + X5P <=> G3P + S7P",
+    "R19r : X5P + E4P <=> F6P + G3P",
+    "R20r : G3P + S7P <=> E4P + F6P",
+    "R22r : CIT <=> ICIT",
+    "R25r : SUCCOA_mit + ADP_mit <=> ATP_mit + COA_mit + SUCC_mit",
+    "R28r : FUM <=> MAL",
+    "R29r : MAL + NAD <=> NADH + OA",
+    "R30r : PYR + NADH <=> NAD + LAC",
+    "R32r : ACCOA + 2 NADH <=> ETOH + 2 NAD + COA",
+    "R36r : ATP + AC + COA <=> ADP + ACCOA",
+    "R74r : CIT_mit <=> ICIT_mit",
+    "R78r : ACEADH_mit + NADH_mit <=> ETOH_mit + NAD_mit",
+    "R79r : SUCC_mit + FAD_mit <=> FUM_mit + FADH_mit",
+    "R80r : FUM_mit <=> MAL_mit",
+    "R81r : MAL_mit + NAD_mit <=> OA_mit + NADH_mit",
+    "R88r : CIT + MAL_mit <=> CIT_mit + MAL",
+    "R89r : MAL + SUCC_mit <=> MAL_mit + SUCC",
+    "R90r : CIT + ICIT_mit <=> CIT_mit + ICIT",
+    "R92r : AC_mit <=> AC",
+    "R94r : PYR <=> PYR_mit",
+    "R95r : ETOH <=> ETOH_mit",
+    "R96r : MAL_mit <=> MAL",
+    "R97r : ACCOA_mit <=> ACCOA",
+    "R102r : OA <=> OA_mit",
+)
+
+#: Figure 5 — reactions added in Network II.
+YEAST_2_ADDED: tuple[str, ...] = (
+    "R1 : GLC + ATP => G6P + ADP",
+    "R14 : GLY + ATP => GL3P + ADP",
+    "R56 : 24 ADP + 20 NADH_mit + 10 O2 => 24 ATP + 20 NAD_mit",
+    "R57 : 24 ADP + 20 FADH + 10 O2 => 24 ATP + 20 FAD",
+    "R61 : GLCext => GLC",
+)
+
+#: Figure 5 — Network I reactions replaced in Network II (name -> new spec).
+YEAST_2_REPLACED: dict[str, str] = {
+    "R54": "R54r : ATP <=> ADP",
+    "R60": "R60r : GLY <=> GLYext",
+    "R63": "R63r : AC <=> ACext",
+    "R62": "R62 : GLC + PEP => G6P + PYR",
+}
+
+#: Paper-reported sizes and EFM counts.
+YEAST_1_SHAPE = (62, 78)
+YEAST_1_REDUCED_SHAPE = (35, 55)
+YEAST_1_N_EFMS = 1_515_314
+YEAST_2_SHAPE = (63, 83)
+YEAST_2_REDUCED_SHAPE = (40, 61)
+YEAST_2_N_EFMS = 49_764_544
+
+
+def yeast_network_1() -> MetabolicNetwork:
+    """Build *S. cerevisiae* Network I (Figures 3 & 4): 62×78."""
+    return network_from_equations(
+        "yeast-I",
+        YEAST_1_IRREVERSIBLE + YEAST_1_REVERSIBLE,
+        externals=YEAST_EXTERNALS,
+    )
+
+
+def yeast_network_2() -> MetabolicNetwork:
+    """Build *S. cerevisiae* Network II (Figure 5 applied to Network I):
+    63×83."""
+    specs: list[str] = []
+    for spec in YEAST_1_IRREVERSIBLE + YEAST_1_REVERSIBLE:
+        name = spec.split(":")[0].strip()
+        specs.append(YEAST_2_REPLACED.get(name, spec))
+    specs.extend(YEAST_2_ADDED)
+    return network_from_equations("yeast-II", specs, externals=YEAST_EXTERNALS)

@@ -1,0 +1,132 @@
+"""Multiprocessing backend: ranks as OS processes with pipe mesh.
+
+The closest in-box substitute for a real MPI job: genuinely separate
+address spaces, explicit serialization on every message, and per-process
+peak-memory isolation.  On a single-core host this demonstrates semantics
+rather than speedup; on multi-core hosts the heavy phases parallelize.
+
+The SPMD callable and its arguments must be picklable module-level
+objects (the same restriction ``mpiexec python script.py`` imposes in
+spirit).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.errors import CommunicatorError
+from repro.mpi.comm import Communicator
+
+
+class ProcessCommunicator(Communicator):
+    """Rank endpoint over a full pipe mesh."""
+
+    def __init__(self, rank: int, size: int, pipes: dict[int, Connection]) -> None:
+        super().__init__(rank, size)
+        self._pipes = pipes  # peer rank -> Connection
+        self._stash: list[tuple[int, int, Any]] = []
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if dest == self.rank:
+            self._stash.append((self.rank, tag, obj))
+            return
+        try:
+            self._pipes[dest].send((self.rank, tag, obj))
+        except KeyError:
+            raise CommunicatorError(f"send to invalid rank {dest}") from None
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        for i, (src, t, obj) in enumerate(self._stash):
+            if src == source and t == tag:
+                del self._stash[i]
+                return obj
+        if source == self.rank:
+            raise CommunicatorError("self-recv with no matching self-send")
+        conn = self._pipes[source]
+        while True:
+            if not conn.poll(timeout=300.0):
+                raise CommunicatorError(
+                    f"rank {self.rank} timed out receiving from {source}"
+                )
+            src, t, obj = conn.recv()
+            if src == source and t == tag:
+                return obj
+            self._stash.append((src, t, obj))
+
+    def barrier(self) -> None:
+        # Dissemination barrier over the mesh (log rounds).
+        round_ = 1
+        while round_ < self.size:
+            peer_to = (self.rank + round_) % self.size
+            peer_from = (self.rank - round_) % self.size
+            self.send(None, peer_to, tag=-1)
+            self.recv(peer_from, tag=-1)
+            round_ <<= 1
+
+    def allgather(self, obj: Any) -> list[Any]:
+        out: list[Any] = [None] * self.size
+        out[self.rank] = obj
+        for peer in range(self.size):
+            if peer != self.rank:
+                self.send(obj, peer, tag=-2)
+        for peer in range(self.size):
+            if peer != self.rank:
+                out[peer] = self.recv(peer, tag=-2)
+        return out
+
+
+def _worker(rank, size, fan, fn, args, kwargs, result_conn):
+    comm = ProcessCommunicator(rank, size, fan)
+    try:
+        result_conn.send(("ok", fn(comm, *args, **kwargs)))
+    except BaseException as exc:  # noqa: BLE001 - marshalled to parent
+        result_conn.send(("error", repr(exc)))
+
+
+class ProcessEngine:
+    """Launches an SPMD callable across N rank processes."""
+
+    name = "process"
+
+    def run(self, fn, size: int, args: tuple = (), kwargs: dict | None = None) -> list[Any]:
+        kwargs = kwargs or {}
+        ctx = mp.get_context("fork")
+        # Full mesh of pipes: mesh[i][j] is i's endpoint to j.
+        mesh: list[dict[int, Connection]] = [dict() for _ in range(size)]
+        for i in range(size):
+            for j in range(i + 1, size):
+                a, b = ctx.Pipe(duplex=True)
+                mesh[i][j] = a
+                mesh[j][i] = b
+        result_pipes = [ctx.Pipe(duplex=False) for _ in range(size)]
+        procs = [
+            ctx.Process(
+                target=_worker,
+                args=(r, size, mesh[r], fn, args, kwargs, result_pipes[r][1]),
+                name=f"proc-rank-{r}",
+            )
+            for r in range(size)
+        ]
+        for p in procs:
+            p.start()
+        results: list[Any] = [None] * size
+        errors: list[str | None] = [None] * size
+        for r, (rx, _tx) in enumerate(result_pipes):
+            if rx.poll(timeout=600.0):
+                status, payload = rx.recv()
+                if status == "ok":
+                    results[r] = payload
+                else:
+                    errors[r] = payload
+            else:
+                errors[r] = "timed out"
+        for p in procs:
+            p.join(timeout=30.0)
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+        failed = [f"rank {r}: {e}" for r, e in enumerate(errors) if e is not None]
+        if failed:
+            raise CommunicatorError("; ".join(failed))
+        return results

@@ -1,0 +1,52 @@
+"""SPMD launcher: one entry point over the three engines."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Literal
+
+from repro.errors import CommunicatorError
+from repro.mpi.comm import Communicator
+
+BackendName = Literal["sequential", "thread", "process"]
+
+
+def get_engine(backend: BackendName):
+    """Instantiate an engine by name (lazy imports keep multiprocessing out
+    of sequential-only runs)."""
+    if backend == "sequential":
+        from repro.mpi.sequential import SequentialEngine  # noqa: PLC0415
+
+        return SequentialEngine()
+    if backend == "thread":
+        from repro.mpi.threads import ThreadEngine  # noqa: PLC0415
+
+        return ThreadEngine()
+    if backend == "process":
+        from repro.mpi.process import ProcessEngine  # noqa: PLC0415
+
+        return ProcessEngine()
+    raise CommunicatorError(f"unknown backend {backend!r}")
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    size: int,
+    *,
+    backend: BackendName = "sequential",
+    args: tuple = (),
+    kwargs: dict | None = None,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; returns the
+    per-rank return values.
+
+    ``backend="sequential"`` is deterministic and single-threaded (the
+    default, and the right choice for modeled-time benchmarks);
+    ``"thread"`` overlaps numpy kernels; ``"process"`` uses real OS
+    processes (picklable ``fn``/``args`` required).
+    """
+    if size < 1:
+        raise CommunicatorError("size must be >= 1")
+    return get_engine(backend).run(fn, size, args=args, kwargs=kwargs or {})
+
+
+__all__ = ["run_spmd", "get_engine", "BackendName", "Communicator"]

@@ -1,0 +1,97 @@
+"""Communication tracing: message/byte counters for modeled timing.
+
+Wrap any :class:`~repro.mpi.comm.Communicator` in a
+:class:`TracingCommunicator` and every send / allgather / barrier is
+recorded into a :class:`CommTrace`.  The cluster platform models
+(:mod:`repro.cluster.platform`) replay a trace against latency/bandwidth
+specs to produce the modeled "communicate" column of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.mpi.comm import Communicator, payload_nbytes
+
+
+@dataclasses.dataclass(frozen=True)
+class CommEvent:
+    """One traced communication operation (as seen by one rank)."""
+
+    kind: str  # "send" | "recv" | "allgather" | "barrier" | "bcast"
+    bytes_out: int
+    bytes_in: int
+    peers: int  # ranks involved besides self
+
+
+@dataclasses.dataclass
+class CommTrace:
+    """Accumulated communication behaviour of one rank."""
+
+    events: list[CommEvent] = dataclasses.field(default_factory=list)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(e.bytes_out for e in self.events)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(e.bytes_in for e in self.events)
+
+    @property
+    def n_messages(self) -> int:
+        """Point-to-point message count, counting an allgather among P
+        ranks as P-1 sends (mesh implementation)."""
+        out = 0
+        for e in self.events:
+            if e.kind == "send":
+                out += 1
+            elif e.kind in ("allgather", "bcast"):
+                out += e.peers
+        return out
+
+    def merge(self, other: "CommTrace") -> "CommTrace":
+        return CommTrace(events=self.events + other.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TracingCommunicator(Communicator):
+    """Transparent tracing wrapper around another communicator."""
+
+    def __init__(self, inner: Communicator, trace: CommTrace | None = None) -> None:
+        super().__init__(inner.rank, inner.size)
+        self.inner = inner
+        self.trace = trace if trace is not None else CommTrace()
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self.trace.events.append(
+            CommEvent("send", bytes_out=payload_nbytes(obj), bytes_in=0, peers=1)
+        )
+        self.inner.send(obj, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        obj = self.inner.recv(source, tag)
+        self.trace.events.append(
+            CommEvent("recv", bytes_out=0, bytes_in=payload_nbytes(obj), peers=1)
+        )
+        return obj
+
+    def barrier(self) -> None:
+        self.trace.events.append(CommEvent("barrier", 0, 0, self.size - 1))
+        self.inner.barrier()
+
+    def allgather(self, obj: Any) -> list[Any]:
+        out = self.inner.allgather(obj)
+        bytes_in = sum(payload_nbytes(x) for i, x in enumerate(out) if i != self.rank)
+        self.trace.events.append(
+            CommEvent(
+                "allgather",
+                bytes_out=payload_nbytes(obj) * (self.size - 1),
+                bytes_in=bytes_in,
+                peers=self.size - 1,
+            )
+        )
+        return out

@@ -1,0 +1,20 @@
+"""Metabolic network substrate: model classes, reaction-equation parser,
+stoichiometric matrices, and the compression preprocessing step."""
+
+from repro.network.compression import CompressionRecord, compress_network
+from repro.network.model import MetabolicNetwork, Metabolite, Reaction
+from repro.network.parser import parse_reaction, network_from_equations
+from repro.network.stoichiometry import stoichiometric_matrix
+from repro.network.validation import validate_network
+
+__all__ = [
+    "CompressionRecord",
+    "compress_network",
+    "MetabolicNetwork",
+    "Metabolite",
+    "Reaction",
+    "parse_reaction",
+    "network_from_equations",
+    "stoichiometric_matrix",
+    "validate_network",
+]

@@ -1,0 +1,269 @@
+"""Core metabolic-network model classes.
+
+A :class:`MetabolicNetwork` is a set of internal metabolites and a list of
+reactions with rational stoichiometric coefficients.  External metabolites
+(the paper's ``*ext`` species outside the dotted system boundary of Fig. 1)
+are *not* represented as rows — a reaction that consumes or produces only
+external species simply has fewer internal terms; exchange reactions are
+those that reference at least one external name in their equation, tracked
+for reporting only.
+
+Networks are immutable after construction (builder-style constructor), so
+they can be shared freely across simulated compute ranks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import NetworkError
+
+
+@dataclasses.dataclass(frozen=True)
+class Metabolite:
+    """An internal metabolite (a row of the stoichiometric matrix)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise NetworkError(f"invalid metabolite name {self.name!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Reaction:
+    """A reaction (a column of the stoichiometric matrix).
+
+    Parameters
+    ----------
+    name:
+        Unique reaction identifier (e.g. ``"R8r"``).  The paper's convention
+        of a trailing ``r`` for reversible reactions is *not* interpreted —
+        reversibility is the explicit ``reversible`` flag.
+    stoich:
+        Mapping from internal metabolite name to its signed rational
+        coefficient (negative = consumed, positive = produced).  Metabolites
+        with zero coefficient must be omitted.
+    reversible:
+        Whether the flux may be negative.
+    exchange:
+        Whether the reaction crosses the system boundary (transports an
+        external species).  Informational; does not affect the mathematics.
+    """
+
+    name: str
+    stoich: Mapping[str, Fraction]
+    reversible: bool = False
+    exchange: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise NetworkError(f"invalid reaction name {self.name!r}")
+        frozen: dict[str, Fraction] = {}
+        for met, coeff in self.stoich.items():
+            c = coeff if isinstance(coeff, Fraction) else Fraction(coeff)
+            if c == 0:
+                raise NetworkError(
+                    f"reaction {self.name!r} lists metabolite {met!r} with zero "
+                    "coefficient; omit it instead"
+                )
+            frozen[met] = c
+        object.__setattr__(self, "stoich", frozen)
+
+    def __hash__(self) -> int:
+        # dataclass-generated hashing chokes on the stoich dict; hash a
+        # canonical frozen view instead (order-independent).
+        return hash(
+            (
+                self.name,
+                tuple(sorted(self.stoich.items())),
+                self.reversible,
+                self.exchange,
+            )
+        )
+
+    @property
+    def substrates(self) -> tuple[str, ...]:
+        """Internal metabolites consumed (negative coefficient)."""
+        return tuple(m for m, c in self.stoich.items() if c < 0)
+
+    @property
+    def products(self) -> tuple[str, ...]:
+        """Internal metabolites produced (positive coefficient)."""
+        return tuple(m for m, c in self.stoich.items() if c > 0)
+
+    def reversed_copy(self) -> "Reaction":
+        """The same conversion with all coefficients negated.
+
+        Used when canonicalizing merged reactions during compression.
+        """
+        return Reaction(
+            name=self.name,
+            stoich={m: -c for m, c in self.stoich.items()},
+            reversible=self.reversible,
+            exchange=self.exchange,
+        )
+
+
+class MetabolicNetwork:
+    """An immutable metabolic network.
+
+    Parameters
+    ----------
+    name:
+        Display name (``"toy"``, ``"yeast-I"``, ...).
+    metabolites:
+        Ordered internal metabolites; order fixes the stoichiometric row
+        order.
+    reactions:
+        Ordered reactions; order fixes the column order.  Every metabolite
+        referenced by a reaction must appear in ``metabolites``, and every
+        metabolite must be referenced by at least one reaction unless
+        ``allow_orphan_metabolites`` is set.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metabolites: Sequence[Metabolite | str],
+        reactions: Sequence[Reaction],
+        *,
+        allow_orphan_metabolites: bool = False,
+    ) -> None:
+        self.name = name
+        self.metabolites: tuple[Metabolite, ...] = tuple(
+            m if isinstance(m, Metabolite) else Metabolite(m) for m in metabolites
+        )
+        self.reactions: tuple[Reaction, ...] = tuple(reactions)
+
+        met_names = [m.name for m in self.metabolites]
+        if len(set(met_names)) != len(met_names):
+            raise NetworkError(f"duplicate metabolite names in network {name!r}")
+        rxn_names = [r.name for r in self.reactions]
+        if len(set(rxn_names)) != len(rxn_names):
+            raise NetworkError(f"duplicate reaction names in network {name!r}")
+
+        self._met_index: dict[str, int] = {n: i for i, n in enumerate(met_names)}
+        self._rxn_index: dict[str, int] = {n: i for i, n in enumerate(rxn_names)}
+
+        referenced: set[str] = set()
+        for rxn in self.reactions:
+            for met in rxn.stoich:
+                if met not in self._met_index:
+                    raise NetworkError(
+                        f"reaction {rxn.name!r} references unknown metabolite {met!r}"
+                    )
+                referenced.add(met)
+        if not allow_orphan_metabolites:
+            orphans = set(met_names) - referenced
+            if orphans:
+                raise NetworkError(
+                    f"metabolites never referenced by any reaction: {sorted(orphans)}"
+                )
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def n_metabolites(self) -> int:
+        return len(self.metabolites)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_metabolites, n_reactions)`` — the stoichiometric shape."""
+        return (self.n_metabolites, self.n_reactions)
+
+    # -- lookups ------------------------------------------------------------
+
+    def metabolite_index(self, name: str) -> int:
+        try:
+            return self._met_index[name]
+        except KeyError:
+            raise NetworkError(f"unknown metabolite {name!r}") from None
+
+    def reaction_index(self, name: str) -> int:
+        try:
+            return self._rxn_index[name]
+        except KeyError:
+            raise NetworkError(f"unknown reaction {name!r}") from None
+
+    def reaction(self, name: str) -> Reaction:
+        return self.reactions[self.reaction_index(name)]
+
+    def has_reaction(self, name: str) -> bool:
+        return name in self._rxn_index
+
+    @property
+    def reaction_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.reactions)
+
+    @property
+    def metabolite_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.metabolites)
+
+    @property
+    def reversibility(self) -> tuple[bool, ...]:
+        """Per-reaction reversibility flags in column order."""
+        return tuple(r.reversible for r in self.reactions)
+
+    def reactions_consuming(self, met: str) -> tuple[Reaction, ...]:
+        """Reactions with a negative coefficient for ``met``."""
+        self.metabolite_index(met)
+        return tuple(r for r in self.reactions if r.stoich.get(met, 0) < 0)
+
+    def reactions_producing(self, met: str) -> tuple[Reaction, ...]:
+        """Reactions with a positive coefficient for ``met``."""
+        self.metabolite_index(met)
+        return tuple(r for r in self.reactions if r.stoich.get(met, 0) > 0)
+
+    # -- derived networks ----------------------------------------------------
+
+    def without_reactions(self, names: Iterable[str], *, suffix: str = "-sub") -> "MetabolicNetwork":
+        """Copy with the named reactions deleted (knockout / divide-and-
+        conquer zero-flux subproblem).  Metabolites no longer referenced are
+        dropped as well."""
+        drop = set(names)
+        unknown = drop - set(self.reaction_names)
+        if unknown:
+            raise NetworkError(f"cannot drop unknown reactions: {sorted(unknown)}")
+        kept = [r for r in self.reactions if r.name not in drop]
+        referenced = {m for r in kept for m in r.stoich}
+        mets = [m for m in self.metabolites if m.name in referenced]
+        return MetabolicNetwork(self.name + suffix, mets, kept)
+
+    def with_reversibility(self, flags: Mapping[str, bool]) -> "MetabolicNetwork":
+        """Copy with some reactions' reversibility flags overridden."""
+        unknown = set(flags) - set(self.reaction_names)
+        if unknown:
+            raise NetworkError(f"unknown reactions in reversibility map: {sorted(unknown)}")
+        new = [
+            dataclasses.replace(r, reversible=flags.get(r.name, r.reversible))
+            for r in self.reactions
+        ]
+        return MetabolicNetwork(self.name, self.metabolites, new,
+                                allow_orphan_metabolites=True)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        nrev = sum(self.reversibility)
+        return (
+            f"<MetabolicNetwork {self.name!r}: {self.n_metabolites} metabolites, "
+            f"{self.n_reactions} reactions ({nrev} reversible)>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetabolicNetwork):
+            return NotImplemented
+        return (
+            self.metabolites == other.metabolites
+            and self.reactions == other.reactions
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.metabolites, self.reactions))

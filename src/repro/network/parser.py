@@ -1,0 +1,161 @@
+"""Reaction-equation parser.
+
+Accepts the notation used in Figures 3–5 of the paper::
+
+    R4 : F6P + ATP => FDP + ADP           (irreversible)
+    R3r : G6P <=> F6P                     (reversible)
+    R70 : 7437 G6P + 611 G3P + ... => 1000 BIO + ...
+
+plus the unicode arrows the paper prints (``=⇒``, ``⇐⇒``).  Metabolites
+whose names end in ``ext`` (case-insensitive) are treated as *external*
+and excluded from the stoichiometry; a reaction touching any external
+species is flagged as an exchange reaction.
+
+The same grammar is used by :mod:`repro.efm.io` to round-trip networks
+through text files.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import ParseError
+from repro.network.model import MetabolicNetwork, Reaction
+
+#: Arrow spellings, longest first so ``<=>`` wins over ``=>``.
+_REVERSIBLE_ARROWS = ("<=>", "<==>", "⇐⇒", "<->")
+_IRREVERSIBLE_ARROWS = ("=>", "==>", "=⇒", "->", "-->")
+
+_TERM_RE = re.compile(
+    r"^\s*(?:(?P<coeff>\d+(?:\.\d+)?(?:/\d+)?)\s+)?(?P<met>[A-Za-z_][A-Za-z0-9_']*)\s*$"
+)
+
+
+def _split_arrow(equation: str) -> tuple[str, str, bool]:
+    """Split an equation at its arrow; returns (lhs, rhs, reversible)."""
+    for arrow in _REVERSIBLE_ARROWS:
+        if arrow in equation:
+            lhs, _, rhs = equation.partition(arrow)
+            return lhs, rhs, True
+    for arrow in _IRREVERSIBLE_ARROWS:
+        if arrow in equation:
+            lhs, _, rhs = equation.partition(arrow)
+            return lhs, rhs, False
+    raise ParseError(f"no reaction arrow found in {equation!r}")
+
+
+def _parse_side(side: str, equation: str) -> list[tuple[Fraction, str]]:
+    """Parse one side of an equation into (coefficient, metabolite) terms."""
+    side = side.strip()
+    if not side:
+        return []
+    terms: list[tuple[Fraction, str]] = []
+    for raw in side.split("+"):
+        m = _TERM_RE.match(raw)
+        if not m:
+            raise ParseError(f"cannot parse term {raw.strip()!r} in {equation!r}")
+        coeff_s = m.group("coeff")
+        coeff = Fraction(coeff_s) if coeff_s else Fraction(1)
+        if coeff <= 0:
+            raise ParseError(f"non-positive coefficient in {equation!r}")
+        terms.append((coeff, m.group("met")))
+    return terms
+
+
+def is_external(metabolite: str, externals: frozenset[str] = frozenset()) -> bool:
+    """The paper's convention: names suffixed ``ext`` are outside the
+    system boundary and carry no steady-state constraint.  ``externals``
+    adds explicit names (e.g. the yeast biomass species ``BIO``, which the
+    paper's model treats as unconstrained without the suffix)."""
+    return metabolite.lower().endswith("ext") or metabolite in externals
+
+
+def parse_reaction(spec: str, *, externals: frozenset[str] = frozenset()) -> Reaction:
+    """Parse ``"NAME : lhs => rhs"`` (or ``<=>``) into a :class:`Reaction`.
+
+    A trailing ``r`` in the name is *not* significant; reversibility comes
+    from the arrow.  External (``*ext``) species are dropped from the
+    stoichiometry; the reaction is flagged ``exchange`` if any were present.
+    Species appearing on both sides have their coefficients netted; a
+    species netting to zero is omitted entirely.
+    """
+    if ":" not in spec:
+        raise ParseError(f"missing 'NAME :' prefix in {spec!r}")
+    name, _, equation = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ParseError(f"empty reaction name in {spec!r}")
+    lhs, rhs, reversible = _split_arrow(equation)
+    stoich: dict[str, Fraction] = {}
+    exchange = False
+    for sign, side in ((-1, lhs), (+1, rhs)):
+        for coeff, met in _parse_side(side, spec):
+            if is_external(met, externals):
+                exchange = True
+                continue
+            stoich[met] = stoich.get(met, Fraction(0)) + sign * coeff
+    stoich = {m: c for m, c in stoich.items() if c != 0}
+    if not stoich and not exchange:
+        raise ParseError(f"reaction {name!r} has no metabolites at all")
+    return Reaction(name=name, stoich=stoich, reversible=reversible, exchange=exchange)
+
+
+def network_from_equations(
+    name: str,
+    specs: Iterable[str],
+    *,
+    metabolite_order: Sequence[str] | None = None,
+    externals: Iterable[str] = (),
+) -> MetabolicNetwork:
+    """Build a network from reaction-equation strings.
+
+    Metabolite row order defaults to first-appearance order across the
+    equations; pass ``metabolite_order`` to fix it explicitly (extra names
+    there are allowed only if referenced).
+
+    Reactions that reference *only* external species (pure boundary
+    transporters like ``R59 : NH3ext => NH3`` keep NH3 internal, but e.g.
+    ``X : Aext => Bext`` would have an empty constraint column) are kept —
+    they contribute an all-zero stoichiometric column, which compression
+    removes while recording the reaction as unconstrained.
+    """
+    ext = frozenset(externals)
+    reactions = [parse_reaction(s, externals=ext) for s in specs]
+    seen: list[str] = []
+    seen_set: set[str] = set()
+    for rxn in reactions:
+        for met in rxn.stoich:
+            if met not in seen_set:
+                seen.append(met)
+                seen_set.add(met)
+    if metabolite_order is not None:
+        extra = seen_set - set(metabolite_order)
+        if extra:
+            raise ParseError(
+                f"metabolite_order is missing referenced metabolites: {sorted(extra)}"
+            )
+        order = [m for m in metabolite_order if m in seen_set]
+    else:
+        order = seen
+    return MetabolicNetwork(name, order, reactions)
+
+
+def format_reaction(rxn: Reaction) -> str:
+    """Render a reaction back to the paper's equation notation (internal
+    species only; external species are not reconstructable)."""
+
+    def side(items: list[tuple[str, Fraction]]) -> str:
+        # An empty side renders as nothing; the parser accepts "=> A" and
+        # "A =>" (pure boundary flows after external-species removal).
+        parts = []
+        for met, coeff in items:
+            mag = abs(coeff)
+            parts.append(met if mag == 1 else f"{mag} {met}")
+        return " + ".join(parts)
+
+    subs = sorted((m, c) for m, c in rxn.stoich.items() if c < 0)
+    prods = sorted((m, c) for m, c in rxn.stoich.items() if c > 0)
+    arrow = "<=>" if rxn.reversible else "=>"
+    return f"{rxn.name} : {side(subs)} {arrow} {side(prods)}"

@@ -1,0 +1,36 @@
+"""Stoichiometric-matrix construction (eq. (2) of the paper)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.linalg.rational import FractionMatrix
+from repro.network.model import MetabolicNetwork
+
+
+def stoichiometric_matrix(network: MetabolicNetwork, *, dtype=np.float64) -> np.ndarray:
+    """Dense stoichiometric matrix ``N``: rows = metabolites (network row
+    order), columns = reactions (network column order), ``N[i, j]`` = molar
+    coefficient of metabolite ``i`` in reaction ``j``."""
+    n = np.zeros(network.shape, dtype=dtype)
+    for j, rxn in enumerate(network.reactions):
+        for met, coeff in rxn.stoich.items():
+            n[network.metabolite_index(met), j] = float(coeff)
+    return n
+
+
+def exact_stoichiometric_matrix(network: MetabolicNetwork) -> FractionMatrix:
+    """Exact (Fraction) stoichiometric matrix with the same layout."""
+    m, q = network.shape
+    out: FractionMatrix = [[Fraction(0)] * q for _ in range(m)]
+    for j, rxn in enumerate(network.reactions):
+        for met, coeff in rxn.stoich.items():
+            out[network.metabolite_index(met)][j] = coeff
+    return out
+
+
+def reversibility_vector(network: MetabolicNetwork) -> np.ndarray:
+    """Boolean per-reaction reversibility flags in column order."""
+    return np.array(network.reversibility, dtype=bool)

@@ -1,0 +1,94 @@
+"""Structural validation helpers for metabolic networks."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.network.model import MetabolicNetwork
+from repro.network.stoichiometry import stoichiometric_matrix
+
+
+def validate_network(network: MetabolicNetwork, *, strict: bool = False) -> list[str]:
+    """Check structural sanity; returns a list of human-readable warnings.
+
+    With ``strict=True`` any warning raises :class:`NetworkError` instead.
+    Checks performed:
+
+    - every metabolite participates in >= 2 reactions (a single-reaction
+      metabolite blocks that reaction — legal, but usually a modeling slip);
+    - no two reactions have identical (or exactly opposite) stoichiometry
+      and compatible directions (they make each EFM-set member ambiguous);
+    - coefficients are "reasonable" rationals (denominator <= 1e6).
+    """
+    warnings: list[str] = []
+
+    counts: dict[str, int] = {m.name: 0 for m in network.metabolites}
+    for rxn in network.reactions:
+        for met in rxn.stoich:
+            counts[met] += 1
+    for met, c in counts.items():
+        if c < 2:
+            warnings.append(
+                f"metabolite {met!r} participates in {c} reaction(s); "
+                "every reaction touching it is blocked"
+            )
+
+    seen: dict[tuple, str] = {}
+    for rxn in network.reactions:
+        key = _canonical_column(network, rxn.name)
+        if key in seen:
+            warnings.append(
+                f"reactions {seen[key]!r} and {rxn.name!r} have proportional "
+                "stoichiometric columns"
+            )
+        else:
+            seen[key] = rxn.name
+
+    for rxn in network.reactions:
+        for met, coeff in rxn.stoich.items():
+            if abs(Fraction(coeff).denominator) > 10**6:
+                warnings.append(
+                    f"reaction {rxn.name!r} has an extreme coefficient for "
+                    f"{met!r}: {coeff}"
+                )
+
+    if strict and warnings:
+        raise NetworkError("; ".join(warnings))
+    return warnings
+
+
+def _canonical_column(network: MetabolicNetwork, rxn_name: str) -> tuple:
+    """Scale-and-sign-invariant fingerprint of a stoichiometric column."""
+    rxn = network.reaction(rxn_name)
+    items = sorted((m, Fraction(c)) for m, c in rxn.stoich.items())
+    if not items:
+        return ()
+    lead = items[0][1]
+    normalized = tuple((m, c / abs(lead)) for m, c in items)
+    # Fold sign so a column and its negation collide.
+    if normalized[0][1] < 0:
+        normalized = tuple((m, -c) for m, c in normalized)
+    return normalized
+
+
+def assert_steady_state(
+    network: MetabolicNetwork, fluxes: np.ndarray, *, atol: float = 1e-7
+) -> None:
+    """Assert ``N @ fluxes ~= 0`` for one flux vector or a matrix of
+    columns; raises :class:`NetworkError` with the worst metabolite
+    imbalance otherwise."""
+    n = stoichiometric_matrix(network)
+    fluxes = np.asarray(fluxes, dtype=np.float64)
+    if fluxes.ndim == 1:
+        fluxes = fluxes[:, None]
+    scale = max(1.0, float(np.abs(fluxes).max())) * max(1.0, float(np.abs(n).max()))
+    resid = np.abs(n @ fluxes)
+    if resid.size and resid.max() > atol * scale:
+        i, j = np.unravel_index(int(resid.argmax()), resid.shape)
+        raise NetworkError(
+            f"steady-state violation: metabolite {network.metabolites[i].name!r} "
+            f"imbalance {resid[i, j]:.3e} in flux column {j}"
+        )

@@ -1,0 +1,193 @@
+"""The combinatorial parallel Nullspace Algorithm (Algorithm 2).
+
+SPMD over a :class:`~repro.mpi.comm.Communicator`: every rank replicates
+the current mode matrix; each iteration the candidate pairs are
+partitioned across ranks (ParallelGenerateEFMCands), each rank locally
+deduplicates (Sort&RemoveDuplicates) and rank-tests its share, then an
+allgather exchanges the accepted candidates (Communicate&Merge) and every
+rank appends the identical merged candidate set, keeping the replicas in
+lockstep.
+
+Determinism: the merged candidate order is canonical (rank-major gather
+order, first-occurrence dedup), so all replicas stay bit-identical and the
+final EFM set is independent of the number of ranks — property-tested
+against the serial algorithm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
+from repro.core.kernel import NullspaceProblem
+from repro.core.serial import NullspaceResult, check_acceptance_applicable, iterate_row
+from repro.core.state import ModeMatrix
+from repro.core.stats import IterationStats, RunStats
+from repro.cluster.memory import MemoryModel
+from repro.errors import AlgorithmError
+from repro.linalg import bitset, rational
+from repro.linalg.bitset import PackedSupports
+from repro.mpi.comm import Communicator
+from repro.mpi.spmd import BackendName, run_spmd
+from repro.mpi.tracing import CommTrace, TracingCommunicator
+from repro.parallel.pairs import PairStrategyName, get_pair_strategy
+
+
+@dataclasses.dataclass
+class ParallelRunResult:
+    """Outcome of a parallel run: the (replicated) result plus per-rank
+    statistics and communication traces."""
+
+    result: NullspaceResult
+    rank_stats: list[RunStats]
+    rank_traces: list[CommTrace]
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.rank_stats)
+
+    @property
+    def stats(self) -> RunStats:
+        """Bulk-synchronous aggregate: per-iteration max times across ranks,
+        summed candidate counters."""
+        agg = self.rank_stats[0]
+        for s in self.rank_stats[1:]:
+            agg = agg.merged_with(s)
+        return agg
+
+
+def _pack_modes(modes: ModeMatrix) -> tuple[np.ndarray, np.ndarray]:
+    return modes.values, modes.supports.words
+
+
+def _unpack_modes(parts, q: int, policy) -> ModeMatrix:
+    values, words = parts
+    return ModeMatrix.from_parts(
+        values, PackedSupports(words, q), policy
+    )
+
+
+def combinatorial_worker(
+    comm: Communicator,
+    problem: NullspaceProblem,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    *,
+    pair_strategy: PairStrategyName = "strided",
+    stop_row: int | None = None,
+    memory_model: MemoryModel | None = None,
+) -> NullspaceResult:
+    """SPMD body of Algorithm 2 — call through :func:`combinatorial_parallel`
+    or hand it directly to :func:`repro.mpi.spmd.run_spmd`."""
+    t_start = time.perf_counter()
+    strategy = get_pair_strategy(pair_strategy)
+    exact = options.arithmetic == "exact"
+    n_exact = rational.from_numpy(problem.n_perm) if exact else None
+    modes = ModeMatrix.from_kernel(problem.kernel, exact=exact, policy=options.policy)
+    stats = RunStats()
+    # The model instance is shared across in-process ranks deliberately:
+    # replicas have identical footprints, and sharing lets a dry-run probe
+    # report the observed peak back to the caller.  Per-subproblem
+    # isolation is the *driver's* job (solve_subset calls .fresh()).
+    memory = memory_model
+    stop = problem.q if stop_row is None else stop_row
+    if not (problem.first_row <= stop <= problem.q):
+        raise AlgorithmError(f"stop_row {stop} out of range")
+    check_acceptance_applicable(problem, options, stop)
+
+    for k in range(problem.first_row, stop):
+        it = IterationStats(
+            position=k,
+            reaction=problem.names[k],
+            reversible=bool(problem.reversible[k]),
+        )
+        kept, cand_local = iterate_row(
+            modes,
+            k,
+            problem,
+            options,
+            it,
+            pair_range_for=lambda n: strategy(n, comm.rank, comm.size),
+            n_exact=n_exact,
+        )
+
+        # Communicate&Merge: exchange accepted local candidates; every rank
+        # rebuilds the identical global candidate set.
+        t0 = time.perf_counter()
+        gathered = comm.allgather(_pack_modes(cand_local))
+        it.t_communicate += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parts = [_unpack_modes(g, problem.q, options.policy) for g in gathered]
+        merged = parts[0]
+        for p in parts[1:]:
+            merged = merged.concat(p)
+        merged = merged.dedup()
+        # Cross-rank duplicates against surviving zero columns were already
+        # removed locally (replicated state), but two ranks may accept the
+        # same ray from different pairs — the global dedup above covers it.
+        modes = kept.concat(merged) if merged.n_modes else kept
+        it.t_merge += time.perf_counter() - t0
+
+        it.n_modes_end = modes.n_modes
+        stats.add(it)
+        stats.peak_mode_bytes = max(stats.peak_mode_bytes, modes.nbytes())
+        if memory is not None:
+            memory.check(k, modes)
+
+    stats.t_total = time.perf_counter() - t_start
+    if isinstance(comm, TracingCommunicator):
+        stats.bytes_sent = comm.trace.bytes_sent
+        stats.messages_sent = comm.trace.n_messages
+    return NullspaceResult(
+        problem=problem, modes=modes, stats=stats, stopped_at=stop
+    )
+
+
+def _traced_worker(comm: Communicator, *args, **kwargs):
+    traced = TracingCommunicator(comm)
+    result = combinatorial_worker(traced, *args, **kwargs)
+    return result, traced.trace
+
+
+def combinatorial_parallel(
+    problem: NullspaceProblem,
+    n_ranks: int,
+    *,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    backend: BackendName = "sequential",
+    pair_strategy: PairStrategyName = "strided",
+    stop_row: int | None = None,
+    memory_model: MemoryModel | None = None,
+) -> ParallelRunResult:
+    """Run Algorithm 2 on ``n_ranks`` simulated ranks.
+
+    All replicas converge to the same mode matrix; the returned
+    :class:`ParallelRunResult` carries rank 0's result plus every rank's
+    statistics and communication trace (for modeled timing).
+    """
+    outs = run_spmd(
+        _traced_worker,
+        n_ranks,
+        backend=backend,
+        args=(problem, options),
+        kwargs={
+            "pair_strategy": pair_strategy,
+            "stop_row": stop_row,
+            "memory_model": memory_model,
+        },
+    )
+    results = [r for r, _ in outs]
+    traces = [t for _, t in outs]
+    # Replica consistency is an algorithm invariant — verify it.
+    words0 = results[0].modes.supports.words
+    for r, res in enumerate(results[1:], start=1):
+        if not np.array_equal(res.modes.supports.words, words0):
+            raise AlgorithmError(f"rank {r} replica diverged from rank 0")
+    return ParallelRunResult(
+        result=results[0],
+        rank_stats=[r.stats for r in results],
+        rank_traces=traces,
+    )

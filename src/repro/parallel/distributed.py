@@ -1,0 +1,229 @@
+"""Column-partitioned parallel Nullspace Algorithm (future-work item 1).
+
+The paper's §V: "the current nullspace matrix should not be stored across
+all the compute nodes ... but should be partitioned in an efficient way
+instead."  This variant shards the mode matrix across ranks:
+
+* each rank owns a disjoint subset of modes (initially a cyclic split of
+  the kernel columns);
+* at iteration ``k`` only the modes *active* in row ``k`` (positive or
+  negative entry) are exchanged — the zero-entry majority never moves;
+* the global pos x neg pair space is partitioned combinatorially, each
+  rank keeps the candidates it generates (ownership follows generation);
+* duplicate control needs global knowledge, so the packed *supports* of
+  new candidates are allgathered (64x smaller than the values) and a
+  deterministic first-owner rule drops repeats.
+
+Per-rank storage is ``O(total/P + active(k))`` instead of ``O(total)`` —
+the memory-scaling benchmark (E-ABL4) measures exactly this difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
+from repro.core.candidates import generate_candidates, strided_range
+from repro.core.kernel import NullspaceProblem
+from repro.core.ranktest import rank_test
+from repro.core.state import ModeMatrix
+from repro.core.stats import IterationStats, RunStats
+from repro.errors import AlgorithmError
+from repro.linalg import bitset, rational
+from repro.linalg.bitset import PackedSupports
+from repro.mpi.comm import Communicator
+from repro.mpi.spmd import BackendName, run_spmd
+from repro.mpi.tracing import CommTrace, TracingCommunicator
+
+
+@dataclasses.dataclass
+class DistributedRunResult:
+    """Outcome of a column-partitioned run."""
+
+    #: every rank's local modes, problem order (concatenate for the full set).
+    rank_modes: list[ModeMatrix]
+    rank_stats: list[RunStats]
+    rank_traces: list[CommTrace]
+    problem: NullspaceProblem
+
+    @property
+    def n_efms(self) -> int:
+        return sum(m.n_modes for m in self.rank_modes)
+
+    def all_modes(self) -> ModeMatrix:
+        out = self.rank_modes[0]
+        for m in self.rank_modes[1:]:
+            out = out.concat(m)
+        return out
+
+    def efms_input_order(self) -> np.ndarray:
+        return np.ascontiguousarray(
+            self.all_modes().values[:, self.problem.inverse_perm()]
+        )
+
+    @property
+    def peak_rank_bytes(self) -> int:
+        """Worst per-rank mode storage over the run — the quantity the
+        partitioning is meant to shrink."""
+        return max(s.peak_mode_bytes for s in self.rank_stats)
+
+
+def distributed_worker(
+    comm: Communicator,
+    problem: NullspaceProblem,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    *,
+    stop_row: int | None = None,
+) -> tuple[ModeMatrix, RunStats]:
+    """SPMD body of the column-partitioned algorithm."""
+    t_start = time.perf_counter()
+    if options.arithmetic == "exact":
+        raise AlgorithmError("distributed variant supports float arithmetic only")
+    q = problem.q
+    kernel_modes = ModeMatrix.from_kernel(problem.kernel, policy=options.policy)
+    local = kernel_modes.select(np.arange(comm.rank, kernel_modes.n_modes, comm.size))
+    stats = RunStats()
+    stop = problem.q if stop_row is None else stop_row
+
+    for k in range(problem.first_row, stop):
+        it = IterationStats(
+            position=k,
+            reaction=problem.names[k],
+            reversible=bool(problem.reversible[k]),
+        )
+        col = local.column(k)
+        signs = np.sign(col).astype(np.int8)
+        my_pos = local.select(np.nonzero(signs > 0)[0])
+        my_neg = local.select(np.nonzero(signs < 0)[0])
+        zero_keep = local.select(np.nonzero(signs == 0)[0])
+
+        # Exchange only the active modes of this row.
+        t0 = time.perf_counter()
+        gathered = comm.allgather(
+            (my_pos.values, my_pos.supports.words, my_neg.values, my_neg.supports.words)
+        )
+        it.t_communicate += time.perf_counter() - t0
+
+        pos_all = _concat_parts([(g[0], g[1]) for g in gathered], q, options)
+        neg_all = _concat_parts([(g[2], g[3]) for g in gathered], q, options)
+        it.n_pos = pos_all.n_modes
+        it.n_neg = neg_all.n_modes
+        it.n_zero = zero_keep.n_modes  # local share only
+
+        cand = ModeMatrix.empty(q, policy=options.policy)
+        n_pairs_total = pos_all.n_modes * neg_all.n_modes
+        if n_pairs_total:
+            active = pos_all.concat(neg_all)
+            pos_idx = np.arange(pos_all.n_modes)
+            neg_idx = pos_all.n_modes + np.arange(neg_all.n_modes)
+            pr = strided_range(n_pairs_total, comm.rank, comm.size)
+            it.n_pairs = pr.count()
+            with _timer(it, "t_gen_cand"):
+                cand = generate_candidates(
+                    active, k, pos_idx, neg_idx, pr, problem.rank, options, it
+                )
+            with _timer(it, "t_merge"):
+                before = cand.n_modes
+                cand = cand.dedup()
+                it.n_duplicates += before - cand.n_modes
+            it.n_tested = cand.n_modes
+            with _timer(it, "t_rank_test"):
+                accept = rank_test(
+                    cand, problem.n_perm, problem.rank, policy=options.policy
+                )
+                cand = cand.select(accept)
+            it.n_accepted = cand.n_modes
+
+        # Global duplicate control over supports only: a candidate is kept
+        # by the lowest rank that generated it, and dropped everywhere if
+        # some rank's surviving zero-entry mode already carries its support.
+        t0 = time.perf_counter()
+        zero_words_all = comm.allgather(zero_keep.supports.words)
+        cand_words_all = comm.allgather(cand.supports.words)
+        it.t_communicate += time.perf_counter() - t0
+        with _timer(it, "t_merge"):
+            zero_words = np.concatenate(zero_words_all, axis=0)
+            if cand.n_modes:
+                drop = bitset.rows_in(cand.supports.words, zero_words)
+                lower_ranks = (
+                    np.concatenate(cand_words_all[: comm.rank], axis=0)
+                    if comm.rank
+                    else np.zeros((0, cand.supports.words.shape[1]), dtype=bitset.WORD)
+                )
+                if lower_ranks.shape[0]:
+                    drop |= bitset.rows_in(cand.supports.words, lower_ranks)
+                if drop.any():
+                    it.n_duplicates += int(drop.sum())
+                    cand = cand.select(~drop)
+
+            if bool(problem.reversible[k]):
+                survivors = local
+            else:
+                keep_mask = signs >= 0
+                it.n_neg_removed = int((~keep_mask).sum())
+                survivors = local.select(np.nonzero(keep_mask)[0])
+            local = survivors.concat(cand) if cand.n_modes else survivors
+        it.n_modes_end = local.n_modes
+        stats.add(it)
+        stats.peak_mode_bytes = max(
+            stats.peak_mode_bytes,
+            local.nbytes() + pos_all.nbytes() + neg_all.nbytes(),
+        )
+
+    stats.t_total = time.perf_counter() - t_start
+    if isinstance(comm, TracingCommunicator):
+        stats.bytes_sent = comm.trace.bytes_sent
+        stats.messages_sent = comm.trace.n_messages
+    return local, stats
+
+
+def _concat_parts(parts, q, options) -> ModeMatrix:
+    vals = np.concatenate([p[0] for p in parts], axis=0)
+    words = np.concatenate([p[1] for p in parts], axis=0)
+    return ModeMatrix.from_parts(vals, PackedSupports(words, q), options.policy)
+
+
+class _timer:
+    __slots__ = ("it", "field", "t0")
+
+    def __init__(self, it: IterationStats, field: str) -> None:
+        self.it, self.field = it, field
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+
+    def __exit__(self, *exc):
+        setattr(self.it, self.field, getattr(self.it, self.field) + time.perf_counter() - self.t0)
+
+
+def _traced_worker(comm: Communicator, *args, **kwargs):
+    traced = TracingCommunicator(comm)
+    modes, stats = distributed_worker(traced, *args, **kwargs)
+    return modes, stats, traced.trace
+
+
+def distributed_parallel(
+    problem: NullspaceProblem,
+    n_ranks: int,
+    *,
+    options: AlgorithmOptions = DEFAULT_OPTIONS,
+    backend: BackendName = "sequential",
+    stop_row: int | None = None,
+) -> DistributedRunResult:
+    """Run the column-partitioned algorithm on ``n_ranks`` ranks."""
+    outs = run_spmd(
+        _traced_worker,
+        n_ranks,
+        backend=backend,
+        args=(problem, options),
+        kwargs={"stop_row": stop_row},
+    )
+    return DistributedRunResult(
+        rank_modes=[o[0] for o in outs],
+        rank_stats=[o[1] for o in outs],
+        rank_traces=[o[2] for o in outs],
+        problem=problem,
+    )

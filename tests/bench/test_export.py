@@ -1,0 +1,55 @@
+"""Tests for run-statistics CSV export."""
+
+import io
+
+from repro.bench.export import (
+    ITERATION_COLUMNS,
+    dumps_stats,
+    load_stats_rows,
+    save_stats,
+)
+from repro.core.serial import nullspace_algorithm
+
+
+class TestExport:
+    def test_roundtrip(self, toy_problem):
+        stats = nullspace_algorithm(toy_problem).stats
+        text = dumps_stats(stats)
+        rows = load_stats_rows(io.StringIO(text))
+        assert len(rows) == len(stats.iterations)
+        for row, it in zip(rows, stats.iterations):
+            assert row["reaction"] == it.reaction
+            assert row["n_pairs"] == it.n_pairs
+            assert row["n_modes_end"] == it.n_modes_end
+            assert row["reversible"] == it.reversible
+
+    def test_header_and_totals(self, toy_problem):
+        stats = nullspace_algorithm(toy_problem).stats
+        text = dumps_stats(stats)
+        lines = text.strip().splitlines()
+        assert lines[0].split(",") == list(ITERATION_COLUMNS)
+        assert lines[-1].startswith("# totals:")
+        assert f"candidates={stats.total_candidates}" in lines[-1]
+
+    def test_tsv_delimiter(self, toy_problem):
+        stats = nullspace_algorithm(toy_problem).stats
+        text = dumps_stats(stats, delimiter="\t")
+        assert "\t" in text.splitlines()[0]
+        rows = load_stats_rows(io.StringIO(text), delimiter="\t")
+        assert rows[0]["reaction"] == stats.iterations[0].reaction
+
+    def test_save_to_file(self, toy_problem, tmp_path):
+        stats = nullspace_algorithm(toy_problem).stats
+        path = tmp_path / "stats.csv"
+        save_stats(stats, path)
+        with open(path) as fp:
+            rows = load_stats_rows(fp)
+        assert len(rows) == 4  # the toy network's four iterations
+
+    def test_parallel_stats_exportable(self, toy_problem):
+        from repro.parallel.combinatorial import combinatorial_parallel
+
+        run = combinatorial_parallel(toy_problem, 3)
+        text = dumps_stats(run.stats)
+        rows = load_stats_rows(io.StringIO(text))
+        assert sum(r["n_pairs"] for r in rows) == run.stats.total_candidates

@@ -1,0 +1,107 @@
+"""Integration tests for the experiment runners and the CLI (tiny
+workloads; the full benchmark tables live under benchmarks/)."""
+
+import pytest
+
+from repro.bench.__main__ import main as cli_main
+from repro.bench.runner import run_table2, run_table3, run_table4
+
+
+@pytest.fixture(scope="module")
+def register_tiny():
+    """Register the toy network under a bench-usable alias once."""
+    from repro.models.registry import _REGISTRY, toy_network
+
+    _REGISTRY.setdefault("toy-bench", toy_network)
+    return "toy-bench"
+
+
+class TestRunners:
+    def test_table2_shape(self, register_tiny):
+        table, runs = run_table2(register_tiny, (1, 2, 4))
+        assert len(runs) == 3
+        # Candidate count invariant across core counts.
+        assert len({r.total_candidates for r in runs}) == 1
+        assert all(r.n_efms == 8 for r in runs)
+        out = table.render()
+        assert "gen. cand (sec)" in out and "Total # EFM: 8" in out
+
+    def test_table2_gen_time_monotone(self, register_tiny):
+        _, runs = run_table2(register_tiny, (1, 4))
+        assert runs[1].modeled.gen_cand <= runs[0].modeled.gen_cand
+
+    def test_table3_dnc_rows(self, register_tiny):
+        run = run_table3(register_tiny, ("r6r", "r8r"), n_ranks=2)
+        assert run.n_efms_total == 8
+        assert len(run.subset_efms) == 4
+        assert run.cumulative_candidates == sum(run.subset_candidates)
+        assert "Cumulative total time" in run.table.render()
+
+    def test_table4_memory_story(self):
+        run = run_table4("toy", n_ranks=1, capacity_fraction=0.8)
+        assert run.n_efms_total == 8
+        assert run.alg2_oom_iteration is not None  # Algorithm 2 died
+        out = run.table.render()
+        assert "OutOfMemory" in out
+
+
+class TestCli:
+    def test_networks_command(self, capsys):
+        assert cli_main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "toy" in out and "yeast-I" in out
+
+    def test_efms_command(self, capsys):
+        assert cli_main(["efms", "--network", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "8 elementary flux modes" in out
+
+    def test_efms_combined(self, capsys):
+        assert cli_main(
+            ["efms", "--network", "toy", "--method", "combined", "--qsub", "2"]
+        ) == 0
+        assert "partition" in capsys.readouterr().out
+
+    def test_table2_command(self, capsys):
+        assert cli_main(["table2", "--network", "toy", "--cores", "1,2"]) == 0
+        assert "Table II analog" in capsys.readouterr().out
+
+    def test_table3_command(self, capsys):
+        assert cli_main(
+            ["table3", "--network", "toy", "--partition", "r6r,r8r", "--ranks", "2"]
+        ) == 0
+        assert "Table III analog" in capsys.readouterr().out
+
+    def test_table4_command(self, capsys):
+        assert cli_main(["table4", "--network", "toy", "--ranks", "1"]) == 0
+        assert "Table IV analog" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_generate_report_contains_all_tables(self, register_tiny):
+        from repro.bench.report import generate_report
+
+        text = generate_report(
+            table2_network="toy-bench",
+            table3_network="toy-bench",
+            table4_network="toy-bench",
+            core_counts=(1, 2),
+        )
+        assert "Table II analog" in text
+        assert "Table III analog" in text
+        assert "Table IV analog" in text
+
+    def test_report_cli_to_file(self, tmp_path, register_tiny):
+        out = tmp_path / "report.txt"
+        # Uses the default (yeast) workloads — takes ~1 min; exercise the
+        # file path plumbing with the registered toy alias instead.
+        from repro.bench.report import write_report
+
+        path = write_report(
+            out,
+            table2_network="toy-bench",
+            table3_network="toy-bench",
+            table4_network="toy-bench",
+            core_counts=(1,),
+        )
+        assert path.read_text().startswith("repro — benchmark report")

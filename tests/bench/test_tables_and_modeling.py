@@ -1,0 +1,72 @@
+"""Tests for table rendering and the modeled-time layer."""
+
+import pytest
+
+from repro.bench.modeling import ModeledTimes, model_run, model_serial
+from repro.bench.tables import Table, fmt_count, fmt_seconds
+from repro.cluster.platform import CALHOUN
+from repro.parallel.combinatorial import combinatorial_parallel
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(title="T", columns=["a", "b"])
+        t.add_row("x", 1234)
+        t.add_row("y", 0.5)
+        t.add_footer("done")
+        out = t.render()
+        assert "T" in out and "1,234" in out and "0.50" in out and "done" in out
+
+    def test_row_width_checked(self):
+        t = Table(title="T", columns=["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_column_values(self):
+        t = Table(title="T", columns=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column_values("b") == [2, 4]
+
+    def test_fmt_count(self):
+        assert fmt_count(159_599_700_951) == "159,599,700,951"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(10643) == "2h 57min 23 secs"
+        assert fmt_seconds(141.6) == "2min 21.60 secs"
+        assert fmt_seconds(2.5) == "2.50 secs"
+
+
+class TestModeling:
+    def test_modeled_times_total(self):
+        m = ModeledTimes(1.0, 2.0, 3.0, 4.0)
+        assert m.total == 10.0
+        assert set(m.as_dict()) == {
+            "gen_cand", "rank_test", "communicate", "merge", "total",
+        }
+
+    def test_gen_time_scales_down_with_ranks(self, toy_problem):
+        runs = {}
+        for p in (1, 4):
+            r = combinatorial_parallel(toy_problem, p)
+            runs[p] = model_run(r.rank_stats, r.rank_traces, CALHOUN)
+        assert runs[4].gen_cand <= runs[1].gen_cand
+
+    def test_single_rank_no_communication(self, toy_problem):
+        r = combinatorial_parallel(toy_problem, 1)
+        m = model_run(r.rank_stats, r.rank_traces, CALHOUN)
+        assert m.communicate == 0.0
+
+    def test_communication_grows_with_ranks(self, toy_problem):
+        r2 = combinatorial_parallel(toy_problem, 2)
+        r8 = combinatorial_parallel(toy_problem, 8)
+        m2 = model_run(r2.rank_stats, r2.rank_traces, CALHOUN)
+        m8 = model_run(r8.rank_stats, r8.rank_traces, CALHOUN)
+        assert m8.communicate > m2.communicate
+
+    def test_model_serial_matches_one_rank_work(self, toy_problem):
+        r = combinatorial_parallel(toy_problem, 1)
+        serial = model_serial(r.result.stats, CALHOUN)
+        parallel = model_run(r.rank_stats, r.rank_traces, CALHOUN)
+        assert serial.gen_cand == pytest.approx(parallel.gen_cand)
+        assert serial.rank_test == pytest.approx(parallel.rank_test)

@@ -1,0 +1,69 @@
+"""Unit tests for the per-node memory model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.memory import MemoryModel, estimate_mode_bytes
+from repro.core.state import ModeMatrix
+from repro.errors import OutOfMemoryError
+
+
+def _modes(n, q=8):
+    return ModeMatrix(np.ones((n, q)))
+
+
+class TestMemoryModel:
+    def test_under_capacity_records_peak(self):
+        mm = MemoryModel(capacity_bytes=10**9)
+        mm.charge(0, _modes(10))
+        mm.charge(1, _modes(100))
+        mm.charge(2, _modes(50))
+        assert mm.peak_bytes == int(1.5 * _modes(100).nbytes())
+        assert mm.last_iteration == 2
+
+    def test_overflow_raises_with_context(self):
+        mm = MemoryModel(capacity_bytes=100)
+        with pytest.raises(OutOfMemoryError) as exc_info:
+            mm.charge(7, _modes(1000))
+        err = exc_info.value
+        assert err.iteration == 7
+        assert err.required_bytes > 100
+        assert err.capacity_bytes == 100
+
+    def test_non_enforcing_dry_run(self):
+        mm = MemoryModel(capacity_bytes=1, enforcing=False)
+        mm.charge(0, _modes(1000))  # no raise
+        assert mm.peak_bytes > 1
+
+    def test_working_factor(self):
+        lean = MemoryModel(capacity_bytes=10**9, working_factor=1.0)
+        fat = MemoryModel(capacity_bytes=10**9, working_factor=2.0)
+        m = _modes(10)
+        lean.charge(0, m)
+        fat.charge(0, m)
+        assert fat.peak_bytes == 2 * lean.peak_bytes
+
+    def test_fresh_resets_peak_keeps_config(self):
+        mm = MemoryModel(capacity_bytes=123, working_factor=1.25, enforcing=False)
+        mm.charge(0, _modes(100))
+        f = mm.fresh()
+        assert f.peak_bytes == 0
+        assert f.capacity_bytes == 123
+        assert f.working_factor == 1.25
+        assert f.enforcing is False
+
+    def test_check_alias(self):
+        mm = MemoryModel(capacity_bytes=10**9)
+        mm.check(3, _modes(5))
+        assert mm.last_iteration == 3
+
+
+class TestEstimate:
+    def test_matches_mode_matrix_nbytes(self):
+        for n, q in [(10, 8), (100, 70), (3, 130)]:
+            est = estimate_mode_bytes(n, q)
+            actual = ModeMatrix(np.ones((n, q))).nbytes()
+            assert est == actual
+
+    def test_zero_modes(self):
+        assert estimate_mode_bytes(0, 10) == 0

@@ -1,0 +1,79 @@
+"""Unit tests for HPC platform models."""
+
+import pytest
+
+from repro.cluster.platform import (
+    BLUE_GENE_P,
+    CALHOUN,
+    JobShape,
+    bluegene_smp,
+    bluegene_vn,
+    get_platform,
+)
+from repro.errors import ReproError
+from repro.mpi.tracing import CommEvent, CommTrace
+
+
+class TestSpecs:
+    def test_paper_numbers(self):
+        # §IV: BG/P has 4 GB/node quad-core; Calhoun 16 GB two quad-cores.
+        assert BLUE_GENE_P.cores_per_node == 4
+        assert BLUE_GENE_P.memory_per_node == 4 * 1024**3
+        assert CALHOUN.cores_per_node == 8
+        assert CALHOUN.memory_per_node == 16 * 1024**3
+
+    def test_calhoun_calibration_reproduces_table2_one_core(self):
+        """The pair rate is calibrated so the paper's 1-core Network I
+        generation time comes out of the paper's candidate count."""
+        t = CALHOUN.t_gen_cand(159_599_700_951)
+        assert t == pytest.approx(2744.76, rel=0.02)
+
+    def test_bluegene_slower_per_core(self):
+        assert BLUE_GENE_P.pair_rate < CALHOUN.pair_rate
+
+    def test_memory_per_core(self):
+        assert CALHOUN.memory_per_core(8) == 2 * 1024**3
+        assert CALHOUN.memory_per_core(1) == 16 * 1024**3
+        with pytest.raises(ReproError):
+            CALHOUN.memory_per_core(9)
+
+    def test_registry(self):
+        assert get_platform("calhoun") is CALHOUN
+        with pytest.raises(ReproError):
+            get_platform("deep-thought")
+
+
+class TestModeledTimes:
+    def test_linear_in_work(self):
+        assert CALHOUN.t_gen_cand(2_000_000) == 2 * CALHOUN.t_gen_cand(1_000_000)
+
+    def test_communicate_latency_plus_bandwidth(self):
+        trace = CommTrace(
+            events=[CommEvent("send", bytes_out=2_000_000_000, bytes_in=0, peers=1)]
+        )
+        t = CALHOUN.t_communicate(trace)
+        assert t == pytest.approx(CALHOUN.latency + 1.0, rel=1e-6)
+
+    def test_communicate_bytes_helper(self):
+        assert CALHOUN.t_communicate_bytes(0, 0) == 0.0
+        assert CALHOUN.t_communicate_bytes(100, 0) == pytest.approx(100 * CALHOUN.latency)
+
+
+class TestJobShape:
+    def test_smp_mode(self):
+        shape = bluegene_smp(256)
+        assert shape.n_ranks == 256
+        assert shape.memory_per_rank == 4 * 1024**3
+
+    def test_vn_mode(self):
+        shape = bluegene_vn(256)
+        assert shape.n_ranks == 1024
+        assert shape.memory_per_rank == 1024**3
+
+    def test_describe(self):
+        assert "256 nodes" in bluegene_smp(256).describe()
+
+    def test_custom_shape(self):
+        shape = JobShape(CALHOUN, n_nodes=4, ranks_per_node=4)
+        assert shape.n_ranks == 16
+        assert shape.memory_per_rank == 4 * 1024**3

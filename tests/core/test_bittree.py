@@ -1,0 +1,100 @@
+"""Unit tests for the bit-pattern tree and the adjacency test."""
+
+import numpy as np
+import pytest
+
+from repro.core.bittree import (
+    AdjacencyTest,
+    BitPatternTree,
+    processed_rows_mask,
+    subset_exists_vectorized,
+)
+from repro.linalg import bitset
+
+
+def _pack(rows_of_bits, n_rows):
+    mask = np.zeros((n_rows, len(rows_of_bits)), dtype=bool)
+    for j, bits in enumerate(rows_of_bits):
+        for b in bits:
+            mask[b, j] = True
+    return bitset.pack_supports(mask)
+
+
+class TestBitPatternTree:
+    def test_finds_subset(self):
+        words = _pack([{0, 1}, {2}, {0, 3}], 8)
+        tree = BitPatternTree(words)
+        query = _pack([{0, 1, 5}], 8)[0]
+        assert tree.has_subset_of(query)
+
+    def test_no_subset(self):
+        words = _pack([{0, 1}, {2, 3}], 8)
+        tree = BitPatternTree(words)
+        query = _pack([{1, 4}], 8)[0]
+        assert not tree.has_subset_of(query)
+
+    def test_equal_pattern_counts(self):
+        words = _pack([{0, 1}], 8)
+        tree = BitPatternTree(words)
+        assert tree.has_subset_of(_pack([{0, 1}], 8)[0])
+
+    def test_empty_tree(self):
+        tree = BitPatternTree(np.zeros((0, 1), dtype=np.uint64))
+        assert not tree.has_subset_of(_pack([{0}], 8)[0])
+
+    @pytest.mark.parametrize("leaf_size", [1, 2, 16])
+    def test_matches_vectorized_on_random(self, leaf_size):
+        rng = np.random.default_rng(leaf_size)
+        mask = rng.random((40, 60)) < 0.25
+        refs = bitset.pack_supports(mask)
+        queries = bitset.pack_supports(rng.random((40, 30)) < 0.5)
+        tree = BitPatternTree(refs, leaf_size=leaf_size)
+        want = subset_exists_vectorized(queries, refs)
+        got = tree.query_batch(queries)
+        assert np.array_equal(got, want)
+
+    def test_identical_patterns_forced_leaf(self):
+        words = _pack([{1, 2}, {1, 2}, {1, 2}], 8)
+        tree = BitPatternTree(words, leaf_size=1)
+        assert tree.has_subset_of(_pack([{1, 2, 3}], 8)[0])
+
+
+class TestProcessedRowsMask:
+    def test_mask_excludes_current_row(self):
+        mask = processed_rows_mask(10, 4)  # rows 0..3
+        bits = bitset.unpack_supports(mask[None, :], 10)[:, 0]
+        assert bits.tolist() == [True] * 4 + [False] * 6
+
+    def test_mask_zero(self):
+        mask = processed_rows_mask(70, 0)
+        assert (mask == 0).all()
+
+
+class TestAdjacencyTest:
+    def test_only_parents_adjacent(self):
+        # current modes: p={0,2}, n={1,2}, other={3}
+        words = _pack([{0, 2}, {1, 2}, {3}], 8)
+        adj = AdjacencyTest(words, n_rows=8, k=4)
+        union = words[0] | words[1]
+        assert adj.adjacent(union[None, :])[0]
+
+    def test_third_subset_witness_blocks(self):
+        # witness {0} is a subset of the union {0,1,2} -> count 3 -> reject
+        words = _pack([{0, 2}, {1, 2}, {0}], 8)
+        adj = AdjacencyTest(words, n_rows=8, k=4)
+        union = words[0] | words[1]
+        assert not adj.adjacent(union[None, :])[0]
+
+    def test_unprocessed_bits_ignored(self):
+        # The witness differs only in row 6, beyond the processed prefix
+        # (k=5): it still blocks because masked supports collide.
+        words = _pack([{0, 2}, {1, 2}, {0, 6}], 8)
+        adj = AdjacencyTest(words, n_rows=8, k=5)
+        union = words[0] | words[1]
+        assert not adj.adjacent(union[None, :])[0]
+
+    def test_batch_shape(self):
+        words = _pack([{0}, {1}, {2}], 8)
+        adj = AdjacencyTest(words, n_rows=8, k=3)
+        unions = np.stack([words[0] | words[1], words[1] | words[2]])
+        assert adj.adjacent(unions).shape == (2,)

@@ -1,0 +1,134 @@
+"""Tests for checkpoint/resume of long runs."""
+
+import numpy as np
+import pytest
+
+from repro.config import AlgorithmOptions
+from repro.core.checkpoint import (
+    Checkpoint,
+    checkpointed_nullspace_algorithm,
+    problem_fingerprint,
+)
+from repro.core.kernel import build_problem
+from repro.core.serial import nullspace_algorithm
+from repro.errors import AlgorithmError, OutOfMemoryError
+from repro.models.variants import yeast_1_small
+from repro.network.compression import compress_network
+from tests.conftest import assert_same_modes
+
+
+class TestFingerprint:
+    def test_stable(self, toy_problem):
+        a = problem_fingerprint(toy_problem, AlgorithmOptions())
+        b = problem_fingerprint(toy_problem, AlgorithmOptions())
+        assert a == b
+
+    def test_sensitive_to_options(self, toy_problem):
+        a = problem_fingerprint(toy_problem, AlgorithmOptions())
+        b = problem_fingerprint(
+            toy_problem, AlgorithmOptions(acceptance="bittree")
+        )
+        assert a != b
+
+    def test_sensitive_to_problem(self, toy_problem, toy_record):
+        other = build_problem(toy_record.reduced, force_last=("r6r",))
+        a = problem_fingerprint(toy_problem, AlgorithmOptions())
+        b = problem_fingerprint(other, AlgorithmOptions())
+        assert a != b
+
+
+class TestRunAndResume:
+    def test_fresh_run_matches_plain(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        res = checkpointed_nullspace_algorithm(toy_problem, path)
+        plain = nullspace_algorithm(toy_problem)
+        assert_same_modes(res.efms_input_order(), plain.efms_input_order())
+        assert path.exists()
+
+    def test_interrupt_and_resume(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+
+        # Simulate the paper's interruption: blow up mid-run.
+        calls = {"n": 0}
+
+        def bomb(k, modes):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OutOfMemoryError("simulated node death", iteration=k)
+
+        with pytest.raises(OutOfMemoryError):
+            checkpointed_nullspace_algorithm(
+                toy_problem, path, checkpoint_every=1, memory_check=bomb
+            )
+        assert path.exists()
+        partial = Checkpoint.load(path)
+        assert partial.next_row < toy_problem.q
+
+        # Resume to completion; the result must equal an uninterrupted run.
+        res = checkpointed_nullspace_algorithm(toy_problem, path)
+        plain = nullspace_algorithm(toy_problem)
+        assert_same_modes(res.efms_input_order(), plain.efms_input_order())
+        # Statistics cover all iterations exactly once.
+        assert len(res.stats.iterations) == len(plain.stats.iterations)
+        assert res.stats.total_candidates == plain.stats.total_candidates
+
+    def test_resume_noop_when_complete(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        first = checkpointed_nullspace_algorithm(toy_problem, path)
+        again = checkpointed_nullspace_algorithm(toy_problem, path)
+        assert again.n_efms == first.n_efms
+        assert len(again.stats.iterations) == len(first.stats.iterations)
+
+    def test_wrong_problem_rejected(self, toy_problem, toy_record, tmp_path):
+        path = tmp_path / "run.ckpt"
+        checkpointed_nullspace_algorithm(toy_problem, path)
+        other = build_problem(toy_record.reduced, force_last=("r6r",))
+        with pytest.raises(AlgorithmError, match="different problem"):
+            checkpointed_nullspace_algorithm(other, path)
+
+    def test_checkpoint_every_n(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        res = checkpointed_nullspace_algorithm(
+            toy_problem, path, checkpoint_every=3
+        )
+        assert res.n_efms == 8
+        # Final snapshot always written.
+        assert Checkpoint.load(path).next_row == toy_problem.q
+
+    def test_exact_mode_rejected(self, toy_problem, tmp_path):
+        with pytest.raises(AlgorithmError):
+            checkpointed_nullspace_algorithm(
+                toy_problem,
+                tmp_path / "x.ckpt",
+                options=AlgorithmOptions(arithmetic="exact"),
+            )
+
+    def test_stats_roundtrip_through_disk(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        res = checkpointed_nullspace_algorithm(toy_problem, path)
+        ck = Checkpoint.load(path)
+        assert ck.stats.total_candidates == res.stats.total_candidates
+        assert [it.reaction for it in ck.stats.iterations] == [
+            it.reaction for it in res.stats.iterations
+        ]
+
+    def test_medium_network_resume_equivalence(self, tmp_path):
+        """Interrupt a real workload halfway; the resumed result equals
+        the straight-through run bit-for-bit on supports."""
+        rec = compress_network(yeast_1_small())
+        from repro.efm.api import build_problem_with_split
+
+        problem, _ = build_problem_with_split(rec.reduced)
+        path = tmp_path / "yeast.ckpt"
+        mid = (problem.first_row + problem.q) // 2
+
+        res_partial = checkpointed_nullspace_algorithm(
+            problem, path, stop_row=mid
+        )
+        assert not res_partial.complete
+        res = checkpointed_nullspace_algorithm(problem, path)
+        plain = nullspace_algorithm(problem)
+        assert np.array_equal(
+            np.sort(res.modes.supports.words, axis=0),
+            np.sort(plain.modes.supports.words, axis=0),
+        )

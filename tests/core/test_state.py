@@ -1,0 +1,108 @@
+"""Unit tests for the ModeMatrix container."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.state import ModeMatrix
+from repro.errors import AlgorithmError
+
+
+class TestConstruction:
+    def test_normalizes_rows_to_unit_max(self):
+        m = ModeMatrix(np.array([[2.0, -4.0], [0.5, 0.0]]))
+        assert np.allclose(np.abs(m.values).max(axis=1), 1.0)
+
+    def test_snaps_small_values(self):
+        m = ModeMatrix(np.array([[1.0, 1e-13]]))
+        assert m.values[0, 1] == 0.0
+        assert not m.supports.to_bool()[1, 0]
+
+    def test_supports_sync_with_values(self):
+        m = ModeMatrix(np.array([[1.0, 0.0, -3.0], [0.0, 2.0, 0.0]]))
+        assert np.array_equal(
+            m.supports.to_bool().T, m.values != 0.0
+        )
+
+    def test_exact_mode_integerizes(self):
+        vals = np.empty((1, 2), dtype=object)
+        vals[0, 0] = Fraction(1, 2)
+        vals[0, 1] = Fraction(3, 2)
+        m = ModeMatrix(vals)
+        assert [int(x) for x in m.values[0]] == [1, 3]
+        assert m.exact
+
+    def test_from_kernel_transposes(self):
+        kernel = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, -1.0]])
+        m = ModeMatrix.from_kernel(kernel)
+        assert m.n_modes == 2 and m.q == 3
+
+    def test_empty(self):
+        m = ModeMatrix.empty(5)
+        assert m.n_modes == 0 and m.q == 5
+
+
+class TestOperations:
+    def test_select_keeps_supports(self):
+        m = ModeMatrix(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]))
+        sel = m.select(np.array([2, 0]))
+        assert sel.n_modes == 2
+        assert np.array_equal(sel.supports.to_bool().T, sel.values != 0.0)
+
+    def test_select_bool_mask(self):
+        m = ModeMatrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        sel = m.select(np.array([True, False]))
+        assert sel.n_modes == 1
+
+    def test_concat(self):
+        a = ModeMatrix(np.array([[1.0, 0.0]]))
+        b = ModeMatrix(np.array([[0.0, 1.0]]))
+        c = a.concat(b)
+        assert c.n_modes == 2
+
+    def test_concat_width_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            ModeMatrix(np.ones((1, 2))).concat(ModeMatrix(np.ones((1, 3))))
+
+    def test_concat_exact_float_mismatch(self):
+        vals = np.empty((1, 2), dtype=object)
+        vals[0, :] = [Fraction(1), Fraction(2)]
+        with pytest.raises(AlgorithmError):
+            ModeMatrix(np.ones((1, 2))).concat(ModeMatrix(vals))
+
+    def test_dedup_by_support_keeps_first(self):
+        m = ModeMatrix(np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 1.0]]))
+        d = m.dedup()
+        assert d.n_modes == 2
+        # first occurrence of support {0} kept (normalized value 1.0)
+        assert d.values[0, 0] == 1.0
+
+    def test_dedup_noop_returns_self(self):
+        m = ModeMatrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert m.dedup() is m
+
+    def test_column_accessor(self):
+        m = ModeMatrix(np.array([[1.0, -0.5], [0.0, 1.0]]))
+        assert np.allclose(m.column(1), m.values[:, 1])
+
+    def test_modes_as_columns_matches_paper_orientation(self):
+        m = ModeMatrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        cols = m.modes_as_columns()
+        assert cols.shape == (2, 2)
+        assert np.array_equal(cols, m.values.T)
+
+    def test_nbytes_positive_and_grows(self):
+        small = ModeMatrix(np.ones((2, 4)))
+        big = ModeMatrix(np.ones((200, 4)))
+        assert 0 < small.nbytes() < big.nbytes()
+
+    def test_from_parts_skips_normalization(self):
+        m = ModeMatrix(np.array([[1.0, 0.5]]))
+        rebuilt = ModeMatrix.from_parts(m.values, m.supports, m.policy)
+        assert np.array_equal(rebuilt.values, m.values)
+
+    def test_from_parts_count_mismatch(self):
+        m = ModeMatrix(np.array([[1.0, 0.5], [0.0, 1.0]]))
+        with pytest.raises(AlgorithmError):
+            ModeMatrix.from_parts(m.values[:1], m.supports, m.policy)

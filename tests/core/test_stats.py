@@ -1,0 +1,74 @@
+"""Unit tests for run statistics containers."""
+
+import time
+
+import pytest
+
+from repro.core.stats import IterationStats, PhaseTimer, RunStats, iter_phase_names
+
+
+def _iteration(pairs=10, tested=5, accepted=2, t_gen=0.5):
+    return IterationStats(
+        position=0,
+        reaction="r",
+        reversible=False,
+        n_pairs=pairs,
+        n_tested=tested,
+        n_accepted=accepted,
+        n_modes_end=7,
+        t_gen_cand=t_gen,
+        t_rank_test=0.1,
+        t_merge=0.01,
+        t_communicate=0.02,
+    )
+
+
+class TestRunStats:
+    def test_totals(self):
+        stats = RunStats()
+        stats.add(_iteration(pairs=10))
+        stats.add(_iteration(pairs=32))
+        assert stats.total_candidates == 42
+        assert stats.total_rank_tests == 10
+        assert stats.n_efms == 7
+
+    def test_phase_times(self):
+        stats = RunStats(t_total=1.5)
+        stats.add(_iteration())
+        pt = stats.phase_times()
+        assert set(pt) == set(iter_phase_names())
+        assert pt["gen_cand"] == pytest.approx(0.5)
+        assert pt["total"] == 1.5
+
+    def test_empty_run(self):
+        assert RunStats().n_efms == 0
+        assert RunStats().total_candidates == 0
+
+    def test_merged_with_bulk_synchronous_semantics(self):
+        a = RunStats(t_total=2.0, bytes_sent=10, messages_sent=1, peak_mode_bytes=100)
+        b = RunStats(t_total=3.0, bytes_sent=20, messages_sent=2, peak_mode_bytes=50)
+        a.add(_iteration(pairs=10, t_gen=0.5))
+        b.add(_iteration(pairs=20, t_gen=0.7))
+        merged = a.merged_with(b)
+        it = merged.iterations[0]
+        assert it.n_pairs == 30  # counters sum
+        assert it.t_gen_cand == pytest.approx(0.7)  # times take the max
+        assert merged.t_total == 3.0
+        assert merged.bytes_sent == 30
+        assert merged.peak_mode_bytes == 100
+
+    def test_merged_with_length_mismatch(self):
+        a, b = RunStats(), RunStats()
+        a.add(_iteration())
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        it = IterationStats(position=0, reaction="r", reversible=False)
+        with PhaseTimer(it, "t_gen_cand"):
+            time.sleep(0.01)
+        with PhaseTimer(it, "t_gen_cand"):
+            time.sleep(0.01)
+        assert it.t_gen_cand >= 0.02

@@ -1,0 +1,73 @@
+"""Tests for memory-driven adaptive refinement."""
+
+import pytest
+
+from repro.cluster.memory import MemoryModel
+from repro.core.kernel import build_problem
+from repro.core.serial import nullspace_algorithm
+from repro.dnc.adaptive import adaptive_combined, default_extension_chooser
+from repro.dnc.subsets import SubsetSpec
+from tests.conftest import assert_same_modes
+
+
+class TestAdaptive:
+    def test_no_refinement_when_memory_ample(self, toy_record):
+        adaptive = adaptive_combined(
+            toy_record.reduced, ("r6r", "r8r"), 1,
+            MemoryModel(capacity_bytes=10**9),
+        )
+        assert adaptive.complete
+        assert adaptive.events == []
+        assert adaptive.combined.n_efms == 8
+
+    def test_refines_under_pressure_and_stays_correct(self, toy_record, toy_problem):
+        # Capacity just below the full-problem peak: some subsets refine.
+        probe = MemoryModel(capacity_bytes=1, enforcing=False)
+        nullspace_algorithm(toy_problem, memory_check=probe.check)
+        cap = int(probe.peak_bytes * 0.8)
+        adaptive = adaptive_combined(
+            toy_record.reduced, ("r8r",), 1,
+            MemoryModel(capacity_bytes=cap), max_depth=4,
+        )
+        assert adaptive.complete
+        serial = nullspace_algorithm(toy_problem)
+        assert_same_modes(serial.efms_input_order(), adaptive.combined.efms())
+
+    def test_failure_reported_when_depth_exhausted(self, toy_record):
+        adaptive = adaptive_combined(
+            toy_record.reduced, ("r8r",), 1,
+            MemoryModel(capacity_bytes=4), max_depth=1,
+        )
+        assert not adaptive.complete
+        assert adaptive.failed
+
+    def test_events_record_context(self, toy_record, toy_problem):
+        probe = MemoryModel(capacity_bytes=1, enforcing=False)
+        nullspace_algorithm(toy_problem, memory_check=probe.check)
+        adaptive = adaptive_combined(
+            toy_record.reduced, ("r8r",), 1,
+            MemoryModel(capacity_bytes=int(probe.peak_bytes * 0.8)),
+        )
+        for ev in adaptive.events:
+            assert ev.added_reaction not in ev.parent.partition
+            assert ev.required_bytes is None or ev.required_bytes > 0
+
+
+class TestExtensionChooser:
+    def test_prefers_reversible(self, toy_record):
+        spec = SubsetSpec(0, ("r8r",))
+        choice = default_extension_chooser(spec, toy_record.reduced)
+        assert choice == "r6r"  # the only other reversible
+
+    def test_falls_back_to_irreversible(self, toy_record):
+        spec = SubsetSpec(0, ("r6r", "r8r"))
+        choice = default_extension_chooser(spec, toy_record.reduced)
+        assert not toy_record.reduced.reaction(choice).reversible
+
+    def test_exhaustion_raises(self, toy_record):
+        all_names = toy_record.reduced.reaction_names
+        spec = SubsetSpec(0, all_names)
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            default_extension_chooser(spec, toy_record.reduced)

@@ -1,0 +1,102 @@
+"""Tests for the graph-partitioning exploration (future work #3)."""
+
+import networkx as nx
+import pytest
+
+from repro.dnc.combined import combined_parallel
+from repro.dnc.graphs import (
+    cut_metabolites,
+    cut_reactions,
+    graph_bisection,
+    metabolite_reaction_graph,
+    partition_quality,
+    reaction_graph,
+    suggest_partition_from_cut,
+)
+from repro.errors import PartitionError
+from repro.models.yeast import yeast_network_1
+
+
+class TestGraphs:
+    def test_bipartite_structure(self, toy):
+        g = metabolite_reaction_graph(toy)
+        assert g.number_of_nodes() == 5 + 9
+        kinds = nx.get_node_attributes(g, "kind")
+        for u, v in g.edges:
+            assert {kinds[u], kinds[v]} == {"metabolite", "reaction"}
+
+    def test_bipartite_edges_match_stoichiometry(self, toy):
+        g = metabolite_reaction_graph(toy)
+        assert g.has_edge(("R", "r3"), ("M", "C"))
+        assert g[("R", "r3")][("M", "C")]["coefficient"] == -1.0
+        assert not g.has_edge(("R", "r1"), ("M", "B"))
+
+    def test_reaction_graph_weights(self, toy):
+        g = reaction_graph(toy)
+        # r2 (A->C) and r5 (A->B) share exactly metabolite A.
+        assert g["r2"]["r5"]["weight"] == 1
+        assert g["r2"]["r5"]["metabolites"] == ["A"]
+        # r6r (B<->C) and r2 (A->C) share C.
+        assert g.has_edge("r6r", "r2")
+
+    def test_reaction_graph_connected_for_toy(self, toy):
+        assert nx.is_connected(reaction_graph(toy))
+
+
+class TestBisection:
+    def test_blocks_partition_reactions(self, toy):
+        a, b = graph_bisection(toy, seed=1)
+        assert a | b == set(toy.reaction_names)
+        assert not (a & b)
+
+    def test_roughly_balanced(self, toy):
+        a, b = graph_bisection(toy, seed=1)
+        q = partition_quality(toy, a, b)
+        assert q["balance"] >= 0.5
+
+    def test_quality_validates_blocks(self, toy):
+        a, b = graph_bisection(toy)
+        with pytest.raises(PartitionError):
+            partition_quality(toy, a, a)
+
+    def test_yeast_bisection_has_small_cut(self):
+        net = yeast_network_1()
+        a, b = graph_bisection(net, seed=0)
+        q = partition_quality(net, a, b)
+        # A meaningful community structure: the cut is well under the
+        # whole metabolite set.
+        assert q["cut_fraction"] < 0.8
+        assert q["balance"] > 0.6
+
+
+class TestCuts:
+    def test_cut_metabolites_shared_only(self, toy):
+        a = frozenset({"r1", "r2", "r5"})
+        b = frozenset(set(toy.reaction_names) - a)
+        cut = cut_metabolites(toy, a, b)
+        # A is produced/consumed only inside block a -> not on the cut.
+        assert "A" not in cut
+        assert "B" in cut and "C" in cut
+
+    def test_cut_reactions_ranked(self, toy):
+        a, b = graph_bisection(toy, seed=1)
+        ranked = cut_reactions(toy, a, b)
+        assert ranked  # the toy graph is connected: some cut exists
+        cut = set(cut_metabolites(toy, a, b))
+        scores = [
+            sum(1 for m in toy.reaction(r).stoich if m in cut) for r in ranked
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSuggestion:
+    def test_suggested_partition_is_valid_for_algorithm3(self, toy_record):
+        partition = suggest_partition_from_cut(toy_record.reduced, 2, seed=3)
+        run = combined_parallel(toy_record.reduced, partition, 1)
+        assert run.n_efms == 8  # complete EFM set regardless of partition
+
+    def test_qsub_bounds(self, toy):
+        with pytest.raises(PartitionError):
+            suggest_partition_from_cut(toy, 0)
+        with pytest.raises(PartitionError):
+            suggest_partition_from_cut(toy, toy.n_reactions)

@@ -1,0 +1,58 @@
+"""Tests for partition-reaction selection heuristics (future work #2)."""
+
+import pytest
+
+from repro.core.serial import nullspace_algorithm
+from repro.dnc.combined import combined_parallel
+from repro.dnc.selection import estimate_subset_counts, select_partition_reactions
+from repro.core.kernel import build_problem
+from repro.errors import PartitionError
+from tests.conftest import assert_same_modes
+
+
+class TestSelection:
+    @pytest.mark.parametrize("method", ["tail", "balance", "probe"])
+    def test_selected_partition_exists_and_works(self, toy_record, toy_problem, method):
+        partition = select_partition_reactions(
+            toy_record.reduced, 2, method=method
+        )
+        assert len(partition) == 2
+        for name in partition:
+            assert toy_record.reduced.has_reaction(name)
+        run = combined_parallel(toy_record.reduced, partition, 1)
+        serial = nullspace_algorithm(toy_problem)
+        assert_same_modes(serial.efms_input_order(), run.efms())
+
+    def test_tail_takes_bottom_rows(self, toy_record):
+        partition = select_partition_reactions(toy_record.reduced, 2, method="tail")
+        # The paper processes reversibles last; the toy tail is r6r, r8r.
+        assert partition == ("r6r", "r8r")
+
+    def test_q_sub_bounds(self, toy_record):
+        with pytest.raises(PartitionError):
+            select_partition_reactions(toy_record.reduced, 0)
+        with pytest.raises(PartitionError):
+            select_partition_reactions(
+                toy_record.reduced, toy_record.reduced.n_reactions
+            )
+
+    def test_unknown_method(self, toy_record):
+        with pytest.raises(PartitionError):
+            select_partition_reactions(toy_record.reduced, 2, method="tarot")
+
+
+class TestEstimates:
+    def test_counts_match_real_runs(self, toy_record):
+        partition = ("r6r", "r8r")
+        estimates = estimate_subset_counts(
+            toy_record.reduced, partition, mode_budget=10_000
+        )
+        real = combined_parallel(toy_record.reduced, partition, 1)
+        for s in real.subsets:
+            assert estimates[s.spec.subset_id] == s.n_candidates
+
+    def test_budget_exceeded_reported_none(self, toy_record):
+        estimates = estimate_subset_counts(
+            toy_record.reduced, ("r6r", "r8r"), mode_budget=0
+        )
+        assert all(v is None for v in estimates.values())

@@ -1,0 +1,71 @@
+"""Unit tests for divide-and-conquer subset specifications."""
+
+import pytest
+
+from repro.dnc.subsets import SubsetSpec, enumerate_subsets, validate_partition
+from repro.errors import PartitionError
+
+
+class TestSubsetSpec:
+    def test_bit_convention_lsb_first(self):
+        spec = SubsetSpec(subset_id=0b101, partition=("a", "b", "c"))
+        assert spec.nonzero == ("a", "c")
+        assert spec.zero == ("b",)
+
+    def test_all_zero_and_all_nonzero(self):
+        p = ("x", "y")
+        assert SubsetSpec(0, p).nonzero == ()
+        assert SubsetSpec(3, p).zero == ()
+
+    def test_label_marks_zero_with_tilde(self):
+        spec = SubsetSpec(subset_id=0b10, partition=("a", "b"))
+        assert spec.label() == "~a b"
+
+    def test_id_out_of_range(self):
+        with pytest.raises(PartitionError):
+            SubsetSpec(subset_id=4, partition=("a", "b"))
+
+    def test_duplicate_partition(self):
+        with pytest.raises(PartitionError):
+            SubsetSpec(subset_id=0, partition=("a", "a"))
+
+    def test_refine_prepends_and_preserves_bits(self):
+        spec = SubsetSpec(subset_id=0b10, partition=("a", "b"))  # a=0, b=1
+        zero_child, nonzero_child = spec.refine("c")
+        assert zero_child.partition == ("c", "a", "b")
+        assert zero_child.zero == ("c", "a")
+        assert zero_child.nonzero == ("b",)
+        assert nonzero_child.nonzero == ("c", "b")
+
+    def test_refine_rejects_existing(self):
+        with pytest.raises(PartitionError):
+            SubsetSpec(0, ("a",)).refine("a")
+
+    def test_q_sub(self):
+        assert SubsetSpec(0, ("a", "b", "c")).q_sub == 3
+
+
+class TestEnumerate:
+    def test_count_and_order(self):
+        specs = enumerate_subsets(("a", "b"))
+        assert [s.subset_id for s in specs] == [0, 1, 2, 3]
+
+    def test_disjoint_patterns(self):
+        specs = enumerate_subsets(("a", "b", "c"))
+        patterns = {(s.nonzero, s.zero) for s in specs}
+        assert len(patterns) == 8
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(PartitionError):
+            enumerate_subsets(())
+
+
+class TestValidatePartition:
+    def test_accepts_existing(self, toy_record):
+        validate_partition(toy_record.reduced, ("r6r", "r8r"))
+
+    def test_rejects_compressed_away(self, toy_record):
+        # r9 was merged into r3 by compression — the paper's warning that
+        # partition reactions "can not be randomly selected".
+        with pytest.raises(PartitionError, match="r9"):
+            validate_partition(toy_record.reduced, ("r9",))

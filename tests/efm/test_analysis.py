@@ -1,0 +1,120 @@
+"""Tests for the EFM application analyses."""
+
+import numpy as np
+import pytest
+
+from repro.efm import analysis
+from repro.efm.api import compute_efms
+from repro.errors import AlgorithmError
+
+
+@pytest.fixture(scope="module")
+def result(toy):
+    return compute_efms(toy)
+
+
+class TestKnockout:
+    def test_knockout_equals_recomputation(self, toy, result):
+        """The EFM closure property: filtering wild-type modes equals
+        recomputing EFMs on the deleted network."""
+        survivors = analysis.knockout(result, ["r5"])
+        recomputed = compute_efms(toy.without_reactions(["r5"]))
+        # Compare in the common reaction space.
+        kept = [toy.reaction_index(n) for n in recomputed.network.reaction_names]
+        from tests.conftest import assert_same_modes
+
+        assert_same_modes(survivors.fluxes[:, kept], recomputed.fluxes)
+
+    def test_multi_knockout(self, result):
+        double = analysis.knockout(result, ["r5", "r2"])
+        assert double.n_efms < result.n_efms
+
+    def test_screen_counts(self, result):
+        reports = analysis.knockout_screen(
+            result, targets=["r2", "r5"], objective="r4"
+        )
+        assert len(reports) == 2
+        for rep in reports:
+            assert 0 <= rep.n_surviving <= result.n_efms
+            assert rep.n_objective_surviving is not None
+
+    def test_screen_pairs(self, result):
+        reports = analysis.knockout_screen(
+            result, targets=["r2", "r5", "r7"], max_set_size=2
+        )
+        assert len(reports) == 3 + 3  # singles + pairs
+
+    def test_lethal_flag(self, result):
+        reports = analysis.knockout_screen(result, targets=["r1"])
+        # r1 is the only glucose... A import; but r8r can import B, so not
+        # everything dies — just check the flag is consistent.
+        for rep in reports:
+            assert rep.lethal == (rep.n_surviving == 0)
+
+
+class TestMinimalCutSets:
+    def test_cuts_abolish_objective(self, result):
+        cuts = analysis.minimal_cut_sets(result, "r4", max_size=2)
+        assert cuts
+        for cut in cuts:
+            remaining = analysis.knockout(result, cut)
+            assert remaining.with_active("r4").n_efms == 0
+
+    def test_minimality(self, result):
+        cuts = analysis.minimal_cut_sets(result, "r4", max_size=2)
+        for cut in cuts:
+            for other in cuts:
+                if other != cut:
+                    assert not set(other) < set(cut)
+
+    def test_unused_objective_raises(self, toy, result):
+        pruned = analysis.knockout(result, ["r4"])
+        with pytest.raises(AlgorithmError):
+            analysis.minimal_cut_sets(pruned, "r4")
+
+
+class TestYields:
+    def test_yields_ratio(self, result):
+        y = analysis.yields(result, "r4", "r1")
+        active = ~np.isnan(y)
+        assert active.any()
+        j4 = result.network.reaction_index("r4")
+        j1 = result.network.reaction_index("r1")
+        for i in np.nonzero(active)[0]:
+            expect = abs(result.fluxes[i, j4]) / abs(result.fluxes[i, j1])
+            assert y[i] == pytest.approx(expect)
+
+    def test_best_yield_mode(self, result):
+        i, y = analysis.best_yield_mode(result, "r4", "r1")
+        assert y == np.nanmax(analysis.yields(result, "r4", "r1"))
+        assert 0 <= i < result.n_efms
+
+    def test_no_consumer_raises(self, toy, result):
+        pruned = analysis.knockout(result, ["r1"])
+        sub = pruned.with_active("r1")  # empty set
+        with pytest.raises(AlgorithmError):
+            analysis.best_yield_mode(sub, "r4", "r1")
+
+
+class TestClassify:
+    def test_partition_counts(self, result):
+        classes = analysis.classify_modes(
+            result, {"P export": "r4", "B export": "r8r"}
+        )
+        assert classes["P export"] == result.with_active("r4").n_efms
+        assert classes["(silent)"] >= 0
+
+
+class TestDecompose:
+    def test_recovers_known_combination(self, result):
+        w_true = np.zeros(result.n_efms)
+        w_true[1] = 2.0
+        w_true[4] = 0.5
+        observed = result.fluxes.T @ w_true
+        w = analysis.decompose_flux(result, observed)
+        assert np.allclose(result.fluxes.T @ w, observed, atol=1e-8)
+        assert (w >= -1e-12).all()
+
+    def test_wrong_length_rejected(self, result):
+        with pytest.raises(AlgorithmError):
+            analysis.decompose_flux(result, np.zeros(3))

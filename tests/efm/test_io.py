@@ -1,0 +1,102 @@
+"""Tests for network / EFM text IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.efm.api import compute_efms
+from repro.efm.io import (
+    dump_efms,
+    dumps_network,
+    load_efms,
+    loads_network,
+    read_efms,
+    read_network,
+    save_efms,
+    save_network,
+)
+from repro.errors import ParseError
+from repro.models.yeast import yeast_network_1
+
+
+class TestNetworkRoundtrip:
+    def test_toy_roundtrip(self, toy):
+        text = dumps_network(toy)
+        back = loads_network(text)
+        assert back.name == "toy"
+        assert back.reaction_names == toy.reaction_names
+        # Internal stoichiometry survives; exchange flags become comments,
+        # so compare stoich dicts only.
+        for a, b in zip(toy.reactions, back.reactions):
+            assert a.stoich == b.stoich
+            assert a.reversible == b.reversible
+
+    def test_yeast_roundtrip_shape(self):
+        net = yeast_network_1()
+        back = loads_network(dumps_network(net))
+        assert back.shape == net.shape
+
+    def test_file_roundtrip(self, toy, tmp_path):
+        path = tmp_path / "toy.rxn"
+        save_network(toy, path)
+        back = read_network(path)
+        assert back.reaction_names == toy.reaction_names
+
+    def test_external_directive(self):
+        text = "@name t\n@external BIOX\nr : A => BIOX\no : Aext => A\n"
+        net = loads_network(text)
+        assert "BIOX" not in net.metabolite_names
+
+    def test_comments_ignored(self):
+        net = loads_network("# header\nr : A => Aext  # trailing\n")
+        assert net.reaction_names == ("r",)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ParseError):
+            loads_network("@wat x\nr : A => Aext\n")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ParseError):
+            loads_network("# nothing here\n")
+
+
+class TestEfmRoundtrip:
+    def test_roundtrip(self, toy):
+        result = compute_efms(toy)
+        buf = io.StringIO()
+        dump_efms(result, buf)
+        buf.seek(0)
+        back = load_efms(buf, toy)
+        assert back.n_efms == result.n_efms
+        assert np.allclose(back.fluxes, result.fluxes, atol=1e-9)
+        assert back.method == "serial"
+
+    def test_file_roundtrip(self, toy, tmp_path):
+        result = compute_efms(toy)
+        path = tmp_path / "toy.efm"
+        save_efms(result, path)
+        back = read_efms(path, toy)
+        assert back.same_modes_as(result)
+
+    def test_header_mismatch_rejected(self, toy):
+        result = compute_efms(toy)
+        buf = io.StringIO()
+        dump_efms(result, buf)
+        text = buf.getvalue().replace("r1 r2", "r2 r1")
+        with pytest.raises(ParseError):
+            load_efms(io.StringIO(text), toy)
+
+    def test_missing_header_rejected(self, toy):
+        with pytest.raises(ParseError):
+            load_efms(io.StringIO("1\t2\t3\n"), toy)
+
+    def test_bad_row_rejected(self, toy):
+        header = "# reactions: " + " ".join(toy.reaction_names) + "\n"
+        with pytest.raises(ParseError):
+            load_efms(io.StringIO(header + "a\tb\n"), toy)
+
+    def test_empty_efm_set(self, toy):
+        header = "# reactions: " + " ".join(toy.reaction_names) + "\n"
+        back = load_efms(io.StringIO(header), toy)
+        assert back.n_efms == 0

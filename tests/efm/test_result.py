@@ -1,0 +1,110 @@
+"""Tests for the EFMResult container."""
+
+import numpy as np
+import pytest
+
+from repro.efm.api import compute_efms
+from repro.efm.result import EFMResult
+from repro.errors import AlgorithmError
+
+
+@pytest.fixture(scope="module")
+def result(toy):
+    return compute_efms(toy)
+
+
+class TestBasics:
+    def test_len_iter(self, result):
+        assert len(result) == 8
+        assert sum(1 for _ in result) == 8
+
+    def test_supports_shape(self, result):
+        assert result.supports().shape == (8, 9)
+
+    def test_mode_as_dict_skips_zeros(self, result, toy):
+        d = result.mode_as_dict(0)
+        for name, v in d.items():
+            assert abs(v) > 1e-9
+            toy.reaction_index(name)  # valid names
+
+    def test_width_validated(self, toy):
+        with pytest.raises(AlgorithmError):
+            EFMResult(network=toy, fluxes=np.ones((2, 5)))
+
+    def test_summary(self, result):
+        s = result.summary()
+        assert "8 elementary flux modes" in s and "toy" in s
+
+
+class TestCanonicalAndComparison:
+    def test_canonical_unit_max_norm(self, result):
+        c = result.canonical()
+        assert np.allclose(np.abs(c.fluxes).max(axis=1), 1.0)
+
+    def test_same_modes_scale_invariant(self, result, toy):
+        scaled = EFMResult(network=toy, fluxes=result.fluxes * 7.5)
+        assert result.same_modes_as(scaled)
+
+    def test_same_modes_order_invariant(self, result, toy):
+        shuffled = EFMResult(network=toy, fluxes=result.fluxes[::-1].copy())
+        assert result.same_modes_as(shuffled)
+
+    def test_different_sets_differ(self, result, toy):
+        fewer = EFMResult(network=toy, fluxes=result.fluxes[:-1].copy())
+        assert not result.same_modes_as(fewer)
+
+
+class TestFilters:
+    def test_with_without_partition(self, result):
+        on = result.with_active("r8r")
+        off = result.without_active("r8r")
+        assert on.n_efms + off.n_efms == result.n_efms
+        assert on.n_efms > 0 and off.n_efms > 0
+
+    def test_filter_by_unknown_reaction(self, result):
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            result.with_active("nope")
+
+
+class TestValidate:
+    def test_good_result_passes(self, result):
+        result.validate()
+
+    def test_steady_state_violation_detected(self, toy):
+        bad = np.zeros((1, 9))
+        bad[0, 0] = 1.0  # r1 alone cannot balance A
+        with pytest.raises(AlgorithmError, match="steady-state"):
+            EFMResult(network=toy, fluxes=bad).validate()
+
+    def test_negative_irreversible_detected(self, toy, result):
+        bad = result.fluxes.copy()
+        bad[0] = -bad[0]  # flips irreversible coordinates negative
+        with pytest.raises(AlgorithmError):
+            EFMResult(network=toy, fluxes=bad).validate()
+
+    def test_non_minimal_support_detected(self, toy, result):
+        # The sum of two EFMs is a steady-state flux but not elementary.
+        combo = result.fluxes[2] + result.fluxes[4]
+        aug = np.vstack([result.fluxes, combo])
+        with pytest.raises(AlgorithmError, match="support"):
+            EFMResult(network=toy, fluxes=aug).validate()
+
+    def test_minimality_check_optional(self, toy, result):
+        combo = result.fluxes[2] + result.fluxes[4]
+        aug = np.vstack([result.fluxes, combo])
+        # Steady state + feasibility still hold; skipping minimality passes.
+        EFMResult(network=toy, fluxes=aug).validate(check_minimality=False)
+
+    def test_empty_result_valid(self, toy):
+        EFMResult(network=toy, fluxes=np.zeros((0, 9))).validate()
+
+
+class TestIntegerized:
+    def test_smallest_coprime_integers(self, result):
+        ints = result.integerized()
+        assert np.allclose(ints, np.round(ints))
+        for row in ints:
+            nz = np.abs(row[np.abs(row) > 0]).astype(int)
+            assert np.gcd.reduce(nz) == 1

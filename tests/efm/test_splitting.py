@@ -1,0 +1,80 @@
+"""Tests for reversible-reaction splitting."""
+
+import numpy as np
+import pytest
+
+from repro.efm.api import compute_efms
+from repro.efm.splitting import BWD_SUFFIX, FWD_SUFFIX, split_reversible
+from repro.errors import NetworkError
+from repro.network.stoichiometry import stoichiometric_matrix
+
+
+class TestSplitNetwork:
+    def test_split_shapes(self, toy):
+        rec = split_reversible(toy, ("r6r", "r8r"))
+        assert rec.split.n_reactions == 11  # 9 + 2
+        assert rec.split.reaction("r6r" + FWD_SUFFIX).reversible is False
+        assert rec.split.reaction("r6r" + BWD_SUFFIX).reversible is False
+
+    def test_backward_negates_stoichiometry(self, toy):
+        rec = split_reversible(toy, ("r6r",))
+        fwd = rec.split.reaction("r6r" + FWD_SUFFIX)
+        bwd = rec.split.reaction("r6r" + BWD_SUFFIX)
+        assert {m: -c for m, c in fwd.stoich.items()} == dict(bwd.stoich)
+
+    def test_trivial_split(self, toy):
+        rec = split_reversible(toy, ())
+        assert rec.is_trivial
+        assert rec.split is toy
+
+    def test_irreversible_rejected(self, toy):
+        with pytest.raises(NetworkError):
+            split_reversible(toy, ("r1",))
+
+    def test_name_collision_rejected(self, toy):
+        rec = split_reversible(toy, ("r6r",))
+        with pytest.raises(NetworkError):
+            split_reversible(rec.split, ("r8r",)) and split_reversible(
+                rec.split, ("r6r",)
+            )
+
+    def test_blow_up_names(self, toy):
+        rec = split_reversible(toy, ("r6r",))
+        assert rec.blow_up_names(["r1", "r6r"]) == ["r1", "r6r" + FWD_SUFFIX]
+
+
+class TestFoldModes:
+    def test_split_efms_fold_to_original_set(self, toy):
+        """EFMs computed on the fully split toy network fold exactly to
+        the 8 modes of eq. (7)."""
+        rec = split_reversible(toy, ("r6r", "r8r"))
+        split_result = compute_efms(rec.split)
+        folded = rec.fold_modes(split_result.fluxes)
+        original = compute_efms(toy)
+        from tests.conftest import assert_same_modes
+
+        assert_same_modes(folded, original.fluxes)
+
+    def test_two_cycles_dropped(self, toy):
+        rec = split_reversible(toy, ("r6r",))
+        split_result = compute_efms(rec.split)
+        jf = rec.split.reaction_index("r6r" + FWD_SUFFIX)
+        jb = rec.split.reaction_index("r6r" + BWD_SUFFIX)
+        both = (np.abs(split_result.fluxes[:, jf]) > 1e-9) & (
+            np.abs(split_result.fluxes[:, jb]) > 1e-9
+        )
+        assert both.sum() == 1  # exactly the spurious 2-cycle exists
+        folded = rec.fold_modes(split_result.fluxes)
+        assert folded.shape[0] == split_result.n_efms - 1
+
+    def test_width_validated(self, toy):
+        rec = split_reversible(toy, ("r6r",))
+        with pytest.raises(NetworkError):
+            rec.fold_modes(np.ones((1, 3)))
+
+    def test_folded_steady_state(self, toy):
+        rec = split_reversible(toy, ("r6r", "r8r"))
+        split_result = compute_efms(rec.split)
+        folded = rec.fold_modes(split_result.fluxes)
+        n = stoichiometric_matrix(toy)
+        assert np.allclose(n @ folded.T, 0.0, atol=1e-8)

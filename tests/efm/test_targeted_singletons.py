@@ -1,0 +1,65 @@
+"""Targeted queries against compression-singleton reactions — the branch
+hypothesis uncovered: a target absorbed into an unconstrained merged
+chain is neither blocked nor present in the reduced network."""
+
+import numpy as np
+
+from repro.efm.api import compute_efms
+from repro.efm.targeted import efms_avoiding, efms_through
+from repro.network.parser import network_from_equations
+from tests.conftest import assert_same_modes
+
+
+def _network_with_singleton():
+    """'keep'->'out' collapses into a singleton EFM; the a/b/c branch
+    stays a real enumeration problem."""
+    return network_from_equations(
+        "sing",
+        [
+            "keep : Aext => Q",
+            "out : Q => Qext",
+            "a : Bext => B",
+            "b : B => C",
+            "b2 : B => 2 C",
+            "c : C => Cext",
+        ],
+    )
+
+
+class TestSingletonTargets:
+    def test_through_singleton_member(self):
+        net = _network_with_singleton()
+        full = compute_efms(net)
+        through = efms_through(net, "keep")
+        assert_same_modes(through.fluxes, full.with_active("keep").fluxes)
+        assert through.n_efms == 1  # exactly the singleton chain
+
+    def test_avoiding_singleton_member(self):
+        net = _network_with_singleton()
+        full = compute_efms(net)
+        avoiding = efms_avoiding(net, "out")
+        assert_same_modes(avoiding.fluxes, full.without_active("out").fluxes)
+
+    def test_mixed_targets_singleton_and_reduced(self):
+        net = _network_with_singleton()
+        full = compute_efms(net)
+        # No mode can use both the singleton chain and branch 'b': the
+        # through-query must come back empty.
+        through = efms_through(net, ("keep", "b"))
+        ref = full.with_active("keep").with_active("b")
+        assert through.n_efms == ref.n_efms == 0
+
+    def test_avoiding_both(self):
+        net = _network_with_singleton()
+        full = compute_efms(net)
+        avoiding = efms_avoiding(net, ("keep", "b"))
+        ref = full.without_active("keep").without_active("b")
+        assert_same_modes(avoiding.fluxes, ref.fluxes)
+
+    def test_counts_partition(self):
+        net = _network_with_singleton()
+        full = compute_efms(net)
+        for target in net.reaction_names:
+            a = efms_through(net, target).n_efms
+            b = efms_avoiding(net, target).n_efms
+            assert a + b == full.n_efms, target

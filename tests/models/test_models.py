@@ -1,0 +1,159 @@
+"""Tests for the model zoo: toy, yeast networks, variants, registry,
+random generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.models import variants
+from repro.models.generators import random_network
+from repro.models.registry import get_network, list_networks, register_network
+from repro.models.toy import TOY_N_EFMS, toy_network
+from repro.models.yeast import (
+    YEAST_1_SHAPE,
+    YEAST_2_SHAPE,
+    yeast_network_1,
+    yeast_network_2,
+)
+from repro.network.validation import validate_network
+
+
+class TestToy:
+    def test_shape(self):
+        assert toy_network().shape == (5, 9)
+
+    def test_reversibles(self):
+        net = toy_network()
+        assert [r.name for r in net.reactions if r.reversible] == ["r6r", "r8r"]
+
+    def test_exchanges(self):
+        net = toy_network()
+        assert {r.name for r in net.reactions if r.exchange} == {"r1", "r4", "r8r", "r9"}
+
+    def test_documented_efm_count(self):
+        assert TOY_N_EFMS == 8
+
+
+class TestYeast:
+    def test_network_1_paper_shape(self):
+        assert yeast_network_1().shape == YEAST_1_SHAPE == (62, 78)
+
+    def test_network_1_reversible_count(self):
+        net = yeast_network_1()
+        assert sum(net.reversibility) == 31  # Figure 4 lists 31 reactions
+
+    def test_network_2_paper_shape(self):
+        assert yeast_network_2().shape == YEAST_2_SHAPE == (63, 83)
+
+    def test_network_2_differences(self):
+        n1, n2 = yeast_network_1(), yeast_network_2()
+        added = set(n2.reaction_names) - set(n1.reaction_names)
+        # Figure 5: R1, R14, R56, R57, R61 added; R54/R60/R63 renamed
+        # to their reversible variants.
+        assert {"R1", "R14", "R56", "R57", "R61"} <= added
+        assert {"R54r", "R60r", "R63r"} <= added
+        assert "R54" not in n2.reaction_names
+        assert "GLC" in n2.metabolite_names
+        assert "GLC" not in n1.metabolite_names
+
+    def test_biomass_reaction_coefficients(self):
+        # Spot-check the paper's largest coefficients (R70).
+        net = yeast_network_1()
+        r70 = net.reaction("R70")
+        assert r70.stoich["ATP"] == -40141
+        assert r70.stoich["NADPH"] == -6413
+        assert "BIO" not in r70.stoich  # external biomass
+        assert r70.exchange
+
+    def test_known_structural_quirks_only(self):
+        """Network I's validation warnings are exactly the features the
+        figures imply: O2/FAD/FADH dead-ends (their consumers R56/R57 only
+        exist in Network II), the R9/R10 futile pair, and R77 literally
+        duplicating R23 (both read ICIT + NADP => CO2 + NADPH + AKG in
+        Figure 3)."""
+        warnings = validate_network(yeast_network_1())
+        mentioned = " ".join(warnings)
+        for token in ("O2", "FAD", "FADH", "R9", "R10", "R23", "R77"):
+            assert token in mentioned
+        assert len(warnings) == 5
+
+    def test_network_2_fixes_the_fad_loop(self):
+        warnings = validate_network(yeast_network_2())
+        assert not any("FAD'" in w for w in warnings)
+
+
+class TestVariants:
+    @pytest.mark.parametrize(
+        "builder,max_seconds_efms",
+        [
+            (variants.yeast_1_small, 2_000),
+            (variants.yeast_2_small, 10_000),
+        ],
+    )
+    def test_small_variants_solvable(self, builder, max_seconds_efms):
+        from repro.efm.api import compute_efms
+
+        net = builder()
+        result = compute_efms(net)
+        assert 100 < result.n_efms < max_seconds_efms
+        result.validate(check_minimality=False)
+
+    def test_variants_are_subnetworks(self):
+        full = set(yeast_network_1().reaction_names)
+        small = set(variants.yeast_1_small().reaction_names)
+        assert small < full
+
+
+class TestRegistry:
+    def test_list_contains_paper_networks(self):
+        names = list_networks()
+        assert "toy" in names and "yeast-I" in names and "yeast-II" in names
+
+    def test_get_builds(self):
+        assert get_network("toy").shape == (5, 9)
+
+    def test_unknown_name(self):
+        with pytest.raises(NetworkError):
+            get_network("e-coli-9000")
+
+    def test_register_custom_and_conflict(self):
+        register_network("custom-test-net", toy_network)
+        assert get_network("custom-test-net").shape == (5, 9)
+        with pytest.raises(NetworkError):
+            register_network("custom-test-net", toy_network)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_network(5, 10, seed=3)
+        b = random_network(5, 10, seed=3)
+        assert a.reaction_names == b.reaction_names
+        assert a == b
+
+    def test_seeds_differ(self):
+        assert random_network(5, 10, seed=1) != random_network(5, 10, seed=2)
+
+    def test_every_metabolite_producible_and_consumable(self):
+        for seed in range(5):
+            net = random_network(6, 11, seed=seed)
+            for m in net.metabolite_names:
+                produced = consumed = False
+                for r in net.reactions:
+                    c = r.stoich.get(m)
+                    if c is None:
+                        continue
+                    if r.reversible or c > 0:
+                        produced = True
+                    if r.reversible or c < 0:
+                        consumed = True
+                assert produced and consumed, (seed, m)
+
+    def test_reversible_fraction_zero(self):
+        net = random_network(5, 10, seed=0, reversible_fraction=0.0)
+        assert not any(net.reversibility)
+
+    def test_size_validation(self):
+        with pytest.raises(NetworkError):
+            random_network(0, 5, seed=0)
+        with pytest.raises(NetworkError):
+            random_network(3, 1, seed=0)

@@ -1,0 +1,129 @@
+"""Unit tests for the metabolic network model classes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.model import MetabolicNetwork, Metabolite, Reaction
+
+
+def _net():
+    return MetabolicNetwork(
+        "t",
+        ["A", "B"],
+        [
+            Reaction("in", {"A": Fraction(1)}, exchange=True),
+            Reaction("conv", {"A": Fraction(-1), "B": Fraction(1)}, reversible=True),
+            Reaction("out", {"B": Fraction(-1)}, exchange=True),
+        ],
+    )
+
+
+class TestMetabolite:
+    def test_valid(self):
+        assert Metabolite("G6P").name == "G6P"
+
+    @pytest.mark.parametrize("bad", ["", "A B", "x\t"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(NetworkError):
+            Metabolite(bad)
+
+
+class TestReaction:
+    def test_substrates_products(self):
+        r = Reaction("r", {"A": Fraction(-2), "B": Fraction(1)})
+        assert r.substrates == ("A",)
+        assert r.products == ("B",)
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(NetworkError):
+            Reaction("r", {"A": Fraction(0)})
+
+    def test_coefficients_coerced_to_fraction(self):
+        r = Reaction("r", {"A": -1, "B": 2})
+        assert r.stoich["A"] == Fraction(-1)
+        assert isinstance(r.stoich["B"], Fraction)
+
+    def test_reversed_copy(self):
+        r = Reaction("r", {"A": Fraction(-1), "B": Fraction(3)})
+        rr = r.reversed_copy()
+        assert rr.stoich == {"A": Fraction(1), "B": Fraction(-3)}
+
+
+class TestNetworkConstruction:
+    def test_shape_and_lookup(self):
+        net = _net()
+        assert net.shape == (2, 3)
+        assert net.metabolite_index("B") == 1
+        assert net.reaction_index("conv") == 1
+        assert net.reaction("out").exchange
+
+    def test_duplicate_metabolite_rejected(self):
+        with pytest.raises(NetworkError):
+            MetabolicNetwork("t", ["A", "A"], [Reaction("r", {"A": 1})])
+
+    def test_duplicate_reaction_rejected(self):
+        with pytest.raises(NetworkError):
+            MetabolicNetwork(
+                "t", ["A"], [Reaction("r", {"A": 1}), Reaction("r", {"A": -1})]
+            )
+
+    def test_unknown_metabolite_reference(self):
+        with pytest.raises(NetworkError):
+            MetabolicNetwork("t", ["A"], [Reaction("r", {"Z": 1})])
+
+    def test_orphan_metabolite_rejected_by_default(self):
+        with pytest.raises(NetworkError):
+            MetabolicNetwork("t", ["A", "Zombie"], [Reaction("r", {"A": 1})])
+
+    def test_orphan_allowed_when_opted_in(self):
+        net = MetabolicNetwork(
+            "t", ["A", "Z"], [Reaction("r", {"A": 1})],
+            allow_orphan_metabolites=True,
+        )
+        assert net.n_metabolites == 2
+
+    def test_unknown_lookups_raise(self):
+        net = _net()
+        with pytest.raises(NetworkError):
+            net.metabolite_index("Q")
+        with pytest.raises(NetworkError):
+            net.reaction_index("Q")
+
+
+class TestQueries:
+    def test_producers_consumers(self):
+        net = _net()
+        assert [r.name for r in net.reactions_producing("A")] == ["in"]
+        assert [r.name for r in net.reactions_consuming("A")] == ["conv"]
+
+    def test_reversibility_vector(self):
+        assert _net().reversibility == (False, True, False)
+
+    def test_repr_mentions_sizes(self):
+        assert "2 metabolites" in repr(_net())
+
+
+class TestDerivedNetworks:
+    def test_without_reactions_drops_metabolites(self):
+        net = _net().without_reactions(["conv", "out"])
+        assert net.reaction_names == ("in",)
+        assert net.metabolite_names == ("A",)
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(NetworkError):
+            _net().without_reactions(["nope"])
+
+    def test_with_reversibility(self):
+        net = _net().with_reversibility({"in": True, "conv": False})
+        assert net.reversibility == (True, False, False)
+
+    def test_with_reversibility_unknown(self):
+        with pytest.raises(NetworkError):
+            _net().with_reversibility({"nope": True})
+
+    def test_equality_and_hash(self):
+        assert _net() == _net()
+        assert hash(_net()) == hash(_net())
+        assert _net() != _net().with_reversibility({"in": True})

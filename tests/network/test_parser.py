@@ -1,0 +1,133 @@
+"""Unit tests for the reaction-equation parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.network.parser import (
+    format_reaction,
+    is_external,
+    network_from_equations,
+    parse_reaction,
+)
+
+
+class TestParseReaction:
+    def test_simple_irreversible(self):
+        r = parse_reaction("R4 : F6P + ATP => FDP + ADP")
+        assert r.name == "R4"
+        assert not r.reversible
+        assert r.stoich == {
+            "F6P": Fraction(-1),
+            "ATP": Fraction(-1),
+            "FDP": Fraction(1),
+            "ADP": Fraction(1),
+        }
+
+    def test_reversible_arrow(self):
+        r = parse_reaction("R3r : G6P <=> F6P")
+        assert r.reversible
+
+    def test_coefficients(self):
+        r = parse_reaction("R7 : B => 2 P")
+        assert r.stoich["P"] == Fraction(2)
+
+    def test_big_coefficients(self):
+        r = parse_reaction("R70 : 40141 ATP + 5587 NH3 => 1000 BIOM + 40141 ADP")
+        assert r.stoich["ATP"] == Fraction(-40141)
+        assert r.stoich["BIOM"] == Fraction(1000)
+
+    def test_fractional_coefficient(self):
+        r = parse_reaction("X : 1/2 A => B")
+        assert r.stoich["A"] == Fraction(-1, 2)
+
+    def test_externals_dropped_and_flagged(self):
+        r = parse_reaction("r1 : Aext => A")
+        assert r.stoich == {"A": Fraction(1)}
+        assert r.exchange
+
+    def test_explicit_externals(self):
+        r = parse_reaction("R70 : G6P => BIO", externals=frozenset({"BIO"}))
+        assert r.stoich == {"G6P": Fraction(-1)}
+        assert r.exchange
+
+    def test_netting_both_sides(self):
+        r = parse_reaction("X : A + B => A + C")  # A catalytic, nets to zero
+        assert "A" not in r.stoich
+        assert r.stoich == {"B": Fraction(-1), "C": Fraction(1)}
+
+    def test_unicode_arrows(self):
+        assert not parse_reaction("X : A =⇒ B").reversible
+        assert parse_reaction("X : A ⇐⇒ B").reversible
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no arrow here",
+            ": A => B",
+            "X : A -- B",
+            "X : A => 0 B",
+            "X : 2A => B",  # missing space between coeff and name
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_reaction(bad)
+
+    def test_pure_external_reaction_kept_as_empty(self):
+        r = parse_reaction("X : Aext => Bext")
+        assert r.stoich == {}
+        assert r.exchange
+
+    def test_fully_external_nonexchange_rejected(self):
+        with pytest.raises(ParseError):
+            parse_reaction("X :  => ")
+
+
+class TestIsExternal:
+    def test_suffix(self):
+        assert is_external("GLCext")
+        assert is_external("co2EXT")
+        assert not is_external("ATP")
+
+    def test_explicit_set(self):
+        assert is_external("BIO", frozenset({"BIO"}))
+        assert not is_external("BIO")
+
+
+class TestNetworkFromEquations:
+    def test_metabolite_first_appearance_order(self):
+        net = network_from_equations(
+            "t", ["a : A => B", "b : B => C", "c : C => Cext"]
+        )
+        assert net.metabolite_names == ("A", "B", "C")
+
+    def test_explicit_order(self):
+        net = network_from_equations(
+            "t",
+            ["a : A => B", "b : B => Bext"],
+            metabolite_order=["B", "A"],
+        )
+        assert net.metabolite_names == ("B", "A")
+
+    def test_order_missing_name_rejected(self):
+        with pytest.raises(ParseError):
+            network_from_equations(
+                "t", ["a : A => B", "b : B => Bext"], metabolite_order=["A"]
+            )
+
+
+class TestFormatReaction:
+    def test_roundtrip_simple(self):
+        r = parse_reaction("R4 : ATP + F6P => ADP + FDP")
+        assert parse_reaction(format_reaction(r)).stoich == r.stoich
+
+    def test_coefficient_rendering(self):
+        r = parse_reaction("R7 : B => 2 P")
+        s = format_reaction(r)
+        assert "2 P" in s and "=>" in s
+
+    def test_reversible_arrow_rendering(self):
+        r = parse_reaction("X : A <=> B")
+        assert "<=>" in format_reaction(r)

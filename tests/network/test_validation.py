@@ -1,0 +1,57 @@
+"""Unit tests for network structural validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.parser import network_from_equations
+from repro.network.validation import assert_steady_state, validate_network
+
+
+class TestValidateNetwork:
+    def test_clean_network_no_warnings(self, toy):
+        assert validate_network(toy) == []
+
+    def test_single_reaction_metabolite_warned(self):
+        net = network_from_equations("t", ["a : Aext => A", "b : Bext <=> B", "c : B => Cext"])
+        warnings = validate_network(net)
+        assert any("'A'" in w for w in warnings)
+
+    def test_proportional_columns_warned(self):
+        net = network_from_equations(
+            "t",
+            ["a : A => B", "b : 2 A => 2 B", "i : Aext => A", "o : B => Bext"],
+        )
+        warnings = validate_network(net)
+        assert any("proportional" in w for w in warnings)
+
+    def test_opposite_columns_warned(self):
+        net = network_from_equations(
+            "t",
+            ["a : A => B", "b : B => A", "i : Aext => A", "o : B => Bext"],
+        )
+        assert any("proportional" in w for w in validate_network(net))
+
+    def test_strict_raises(self):
+        net = network_from_equations("t", ["a : Aext => A", "b : Bext <=> B", "c : B => Cext"])
+        with pytest.raises(NetworkError):
+            validate_network(net, strict=True)
+
+
+class TestAssertSteadyState:
+    def test_accepts_kernel_vector(self, toy):
+        # r1=r2=r3=r4=r9 chain with r7... easier: use a known EFM
+        # (1,1,1,1,0,0,0,0,1): A in -> C -> D+P -> exports.
+        flux = np.array([1, 1, 1, 1, 0, 0, 0, 0, 1], dtype=float)
+        assert_steady_state(toy, flux)
+
+    def test_rejects_imbalance(self, toy):
+        flux = np.array([1, 0, 0, 0, 0, 0, 0, 0, 0], dtype=float)
+        with pytest.raises(NetworkError, match="imbalance"):
+            assert_steady_state(toy, flux)
+
+    def test_matrix_of_columns(self, toy):
+        fluxes = np.zeros((9, 2))
+        fluxes[:, 0] = [1, 1, 1, 1, 0, 0, 0, 0, 1]
+        fluxes[:, 1] = [2, 2, 2, 2, 0, 0, 0, 0, 2]
+        assert_steady_state(toy, fluxes)

@@ -1,0 +1,43 @@
+"""End-to-end EFM computation over the real multiprocessing backend.
+
+Separate module so the pickling requirements of ``fork``-spawned workers
+(module-level functions, picklable problems) are exercised explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import nullspace_algorithm
+from repro.efm.api import compute_efms
+from repro.parallel.combinatorial import combinatorial_parallel
+from tests.conftest import assert_same_modes
+
+
+class TestProcessBackend:
+    def test_problem_pickles(self, toy_problem):
+        import pickle
+
+        blob = pickle.dumps(toy_problem)
+        back = pickle.loads(blob)
+        assert back.names == toy_problem.names
+        assert np.array_equal(back.kernel, toy_problem.kernel)
+
+    def test_combinatorial_over_processes(self, toy_problem):
+        serial = nullspace_algorithm(toy_problem)
+        run = combinatorial_parallel(toy_problem, 3, backend="process")
+        assert_same_modes(
+            serial.efms_input_order(), run.result.efms_input_order()
+        )
+
+    def test_compute_efms_process_backend(self, toy):
+        base = compute_efms(toy)
+        via_processes = compute_efms(
+            toy, method="parallel", n_ranks=2, backend="process"
+        )
+        assert base.same_modes_as(via_processes)
+
+    def test_traces_survive_process_boundary(self, toy_problem):
+        run = combinatorial_parallel(toy_problem, 2, backend="process")
+        assert len(run.rank_traces) == 2
+        for trace in run.rank_traces:
+            assert trace.bytes_sent > 0

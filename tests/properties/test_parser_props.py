@@ -1,0 +1,58 @@
+"""Property tests for the reaction-equation parser: print/parse
+round-trips over generated reactions."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.model import Reaction
+from repro.network.parser import format_reaction, parse_reaction
+
+met_names = st.from_regex(r"[A-Z][A-Za-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: not s.lower().endswith("ext")
+)
+
+coefficients = st.one_of(
+    st.integers(1, 5000).map(Fraction),
+    st.builds(Fraction, st.integers(1, 9), st.integers(1, 4)),
+)
+
+
+@st.composite
+def reactions(draw):
+    n_sub = draw(st.integers(1, 4))
+    n_prod = draw(st.integers(0, 4))
+    mets = draw(
+        st.lists(
+            met_names, min_size=n_sub + n_prod, max_size=n_sub + n_prod,
+            unique=True,
+        )
+    )
+    stoich = {}
+    for i, m in enumerate(mets):
+        c = draw(coefficients)
+        stoich[m] = -c if i < n_sub else c
+    reversible = draw(st.booleans())
+    return Reaction(name="RX", stoich=stoich, reversible=reversible)
+
+
+@given(rxn=reactions())
+@settings(max_examples=80, deadline=None)
+def test_format_parse_roundtrip(rxn):
+    back = parse_reaction(format_reaction(rxn))
+    assert back.stoich == rxn.stoich
+    assert back.reversible == rxn.reversible
+
+
+@given(rxn=reactions())
+@settings(max_examples=80, deadline=None)
+def test_substrates_products_partition_support(rxn):
+    names = set(rxn.substrates) | set(rxn.products)
+    assert names == set(rxn.stoich)
+    assert not (set(rxn.substrates) & set(rxn.products))
+
+
+@given(rxn=reactions())
+@settings(max_examples=40, deadline=None)
+def test_reversed_copy_involution(rxn):
+    assert rxn.reversed_copy().reversed_copy().stoich == rxn.stoich
