@@ -1,0 +1,174 @@
+"""Rank-test backend benchmark: the batched engine vs. the loop reference.
+
+Workload: the combined divide-and-conquer run (Algorithm 3) on the yeast
+Network I small variant with a ``q_sub = 5`` tail partition — the
+configuration the batched engine targets, where the ``2^q_sub``
+subproblems repeatedly test overlapping supports of the same reduced
+stoichiometry and the shared rank memo turns that redundancy into hits.
+
+Reports the rank-test phase time (``t_rank_test`` in ``RunStats``) for
+both backends and writes a machine-readable ``BENCH_ranktest.json``
+artifact next to the text reports under ``benchmarks/out/``.  Repetitions
+come from ``REPRO_BENCH_REPS`` (default 3; CI's smoke job sets 1); each
+backend's time is the best over repetitions, which is the standard guard
+against scheduler noise on shared runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.config import AlgorithmOptions
+from repro.dnc.combined import combined_parallel
+from repro.dnc.selection import select_partition_reactions
+from repro.efm.api import compute_efms
+from repro.models.variants import yeast_1_small
+from repro.network.compression import compress_network
+
+Q_SUB = 5
+SPEEDUP_TARGET = 3.0
+REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+
+
+def _canonical(rows: np.ndarray) -> np.ndarray:
+    """Unit max-norm scale + lexicographic sort, for order/scale-free
+    EFM-set comparison (mirrors the test suite's helper)."""
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    if rows.shape[0] == 0:
+        return rows
+    scale = np.abs(rows).max(axis=1, keepdims=True)
+    scale[scale == 0] = 1.0
+    keys = np.round(rows / scale, 9)
+    return keys[np.lexsort(keys.T[::-1])]
+
+
+@pytest.fixture(scope="module")
+def backend_runs():
+    reduced = compress_network(yeast_1_small()).reduced
+    partition = select_partition_reactions(
+        reduced, Q_SUB, method="tail", options=AlgorithmOptions()
+    )
+    out = {"partition": partition, "reduced": reduced}
+    for backend in ("loop", "batched"):
+        options = AlgorithmOptions(rank_backend=backend)
+        best = None
+        for _ in range(REPS):
+            run = combined_parallel(reduced, partition, 1, options=options)
+            t_rank = sum(
+                s.stats.t_rank_test for s in run.subsets if s.stats is not None
+            )
+            if best is None or t_rank < best[1]:
+                best = (run, t_rank)
+        out[backend] = best
+    return out
+
+
+def _stat_sum(run, attr: str) -> int:
+    return sum(
+        getattr(s.stats, attr) for s in run.subsets if s.stats is not None
+    )
+
+
+def test_backends_same_efm_set(backend_runs):
+    loop_run, _ = backend_runs["loop"]
+    batched_run, _ = backend_runs["batched"]
+    assert loop_run.n_efms == batched_run.n_efms == 530
+    ca, cb = _canonical(loop_run.efms()), _canonical(batched_run.efms())
+    assert ca.shape == cb.shape
+    assert np.allclose(ca, cb, atol=1e-7)
+
+
+def test_ranktest_backends_artifact(backend_runs, write_artifact):
+    loop_run, t_loop = backend_runs["loop"]
+    batched_run, t_batched = backend_runs["batched"]
+    speedup = t_loop / t_batched
+    hits = _stat_sum(batched_run, "total_rank_cache_hits")
+    tested = _stat_sum(batched_run, "total_rank_tests")
+    batches = _stat_sum(batched_run, "total_rank_batches")
+
+    table = Table(
+        title=(
+            "BENCH — rank-test backends "
+            f"(yeast-I-small, combined, q_sub={Q_SUB}, best of {REPS})"
+        ),
+        columns=[
+            "backend", "# EFM", "rank tests", "t_rank_test (s)",
+            "cache hits", "SVD batches",
+        ],
+    )
+    table.add_row(
+        "loop", loop_run.n_efms, _stat_sum(loop_run, "total_rank_tests"),
+        round(t_loop, 4), 0, 0,
+    )
+    table.add_row(
+        "batched", batched_run.n_efms, tested, round(t_batched, 4),
+        hits, batches,
+    )
+    write_artifact("ranktest_backends.txt", table.render())
+
+    payload = {
+        "benchmark": "ranktest_backends",
+        "network": "yeast-I-small",
+        "workload": {
+            "method": "combined",
+            "q_sub": Q_SUB,
+            "partition": list(backend_runs["partition"]),
+            "repetitions": REPS,
+            "aggregation": "best",
+        },
+        "loop": {
+            "t_rank_test": t_loop,
+            "n_efms": loop_run.n_efms,
+            "rank_tests": _stat_sum(loop_run, "total_rank_tests"),
+        },
+        "batched": {
+            "t_rank_test": t_batched,
+            "n_efms": batched_run.n_efms,
+            "rank_tests": tested,
+            "cache_hits": hits,
+            "svd_batches": batches,
+        },
+        "speedup": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_target": bool(speedup >= SPEEDUP_TARGET),
+    }
+    write_artifact("BENCH_ranktest.json", json.dumps(payload, indent=2))
+
+
+def test_ranktest_speedup_target(backend_runs):
+    """The tentpole's acceptance bar: >= 3x on the rank-test phase."""
+    _, t_loop = backend_runs["loop"]
+    _, t_batched = backend_runs["batched"]
+    assert t_loop / t_batched >= SPEEDUP_TARGET, (
+        f"rank-test speedup {t_loop / t_batched:.2f}x below "
+        f"{SPEEDUP_TARGET}x target (loop {t_loop:.4f}s vs "
+        f"batched {t_batched:.4f}s)"
+    )
+
+
+def test_cache_hits_across_subproblems(backend_runs):
+    """Algorithm 3's redundancy must become memo hits."""
+    batched_run, _ = backend_runs["batched"]
+    hits = _stat_sum(batched_run, "total_rank_cache_hits")
+    tested = _stat_sum(batched_run, "total_rank_tests")
+    assert hits > tested // 2  # majority of lookups served from the memo
+
+
+def test_medium_registry_equivalence():
+    """Backend equivalence at the medium registry scale (the small
+    variants and toy run the same assertion in the tier-1 parity suite;
+    yeast-II-medium is out of pure-Python benchmark reach)."""
+    from repro.models import variants
+
+    net = variants.yeast_1_medium()
+    results = {
+        be: compute_efms(net, options=AlgorithmOptions(rank_backend=be))
+        for be in ("loop", "batched")
+    }
+    assert results["loop"].n_efms == results["batched"].n_efms
+    assert results["loop"].same_modes_as(results["batched"])

@@ -29,6 +29,9 @@ ITERATION_COLUMNS = (
     "n_duplicates",
     "n_tested",
     "n_accepted",
+    "n_rank_cache_hits",
+    "n_rank_batches",
+    "rank_batch_max",
     "n_neg_removed",
     "n_modes_end",
     "t_gen_cand",

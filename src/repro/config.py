@@ -26,6 +26,7 @@ DEFAULT_PAIR_CHUNK: int = 65536
 Arithmetic = Literal["float", "exact"]
 AcceptanceTest = Literal["rank", "bittree", "both"]
 OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
+RankBackend = Literal["batched", "loop"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +73,13 @@ class AlgorithmOptions:
         (nullity of the stoichiometric submatrix == 1), the efmtool-style
         ``"bittree"`` superset test, or ``"both"`` (cross-checking; testing
         aid).
+    rank_backend:
+        Engine computing the algebraic rank test: ``"batched"`` (default)
+        buckets candidates by support size and decomposes each bucket with
+        one gufunc-batched SVD call, memoizing support-pattern ranks across
+        iterations and divide-and-conquer subproblems; ``"loop"`` is the
+        reference one-SVD-per-candidate path (parity testing, benchmark
+        baseline).  Both produce identical acceptance decisions.
     ordering:
         Row-processing order heuristic.  ``"paper"`` = fewest non-zeros
         first with reversible rows pushed last (§II.C); ``"natural"`` keeps
@@ -88,6 +96,7 @@ class AlgorithmOptions:
 
     arithmetic: Arithmetic = "float"
     acceptance: AcceptanceTest = "rank"
+    rank_backend: RankBackend = "batched"
     ordering: OrderingName = "paper"
     pair_chunk: int = DEFAULT_PAIR_CHUNK
     ordering_seed: int = 0
@@ -99,6 +108,8 @@ class AlgorithmOptions:
             raise ValueError(f"unknown arithmetic {self.arithmetic!r}")
         if self.acceptance not in ("rank", "bittree", "both"):
             raise ValueError(f"unknown acceptance test {self.acceptance!r}")
+        if self.rank_backend not in ("batched", "loop"):
+            raise ValueError(f"unknown rank backend {self.rank_backend!r}")
         if self.ordering not in ("paper", "natural", "most-nonzeros", "random"):
             raise ValueError(f"unknown ordering {self.ordering!r}")
         if self.pair_chunk < 1:

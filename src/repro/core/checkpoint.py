@@ -185,11 +185,16 @@ def checkpointed_nullspace_algorithm(
         from repro.core.serial import check_acceptance_applicable  # noqa: PLC0415
 
         check_acceptance_applicable(problem, options, stop)
+    from repro.core.serial import make_rank_binding  # noqa: PLC0415
+
+    rank_cache = make_rank_binding(problem, options)
     for k in range(start_row, stop):
         it = IterationStats(
             position=k, reaction=problem.names[k], reversible=bool(problem.reversible[k])
         )
-        kept, cand = iterate_row(modes, k, problem, options, it, n_exact=n_exact)
+        kept, cand = iterate_row(
+            modes, k, problem, options, it, n_exact=n_exact, rank_cache=rank_cache
+        )
         with PhaseTimer(it, "t_merge"):
             modes = kept.concat(cand) if cand.n_modes else kept
         it.n_modes_end = modes.n_modes

@@ -7,16 +7,36 @@ form a single ray, and no solution with a strictly smaller support exists
 inside ``S``.  Nullity 0 cannot happen for a candidate (the candidate
 itself is a witness); nullity >= 2 means a smaller-support solution exists
 and the candidate is rejected.
+
+Two backends compute the ranks:
+
+``"batched"`` (default)
+    The engine in :mod:`repro.linalg.batched`: candidates are bucketed by
+    support size, each bucket's submatrices are gathered into one 3-D
+    stack and decomposed by a single gufunc-batched SVD call, and an
+    optional support-pattern memo (:class:`repro.linalg.batched.RankCache`)
+    skips repeated selections across iterations and divide-and-conquer
+    subproblems.
+``"loop"``
+    The reference implementation: one Python-level
+    :func:`~repro.linalg.numeric.numeric_rank` call per candidate.  Kept
+    for parity testing and benchmarking.
+
+Both backends see only candidates that survive summary rejection — the
+packed supports are unpacked solely for those survivors, never for the
+full batch.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.config import DEFAULT_POLICY, NumericPolicy
+from repro.config import DEFAULT_POLICY, NumericPolicy, RankBackend
 from repro.core.state import ModeMatrix
 from repro.errors import AlgorithmError
 from repro.linalg import rational
+from repro.linalg.batched import CacheBinding, bucketed_ranks
+from repro.linalg.bitset import unpack_supports
 from repro.linalg.numeric import numeric_rank
 
 
@@ -27,6 +47,9 @@ def rank_test(
     *,
     policy: NumericPolicy = DEFAULT_POLICY,
     n_exact: rational.FractionMatrix | None = None,
+    backend: RankBackend = "batched",
+    cache: CacheBinding | None = None,
+    stats=None,
 ) -> np.ndarray:
     """Boolean acceptance mask for a batch of candidates.
 
@@ -44,6 +67,14 @@ def rank_test(
     n_exact:
         When given (exact-arithmetic runs), rank is computed over
         Fractions on the same column selection instead of by SVD.
+    backend:
+        ``"batched"`` (bucketed gufunc SVD + memo) or ``"loop"`` (one SVD
+        per candidate) — see the module docstring.
+    cache:
+        Optional problem-bound rank memo (batched backend only).
+    stats:
+        Optional :class:`~repro.core.stats.IterationStats` receiving the
+        engine's cache-hit and batch counters.
     """
     n_cand = candidates.n_modes
     accept = np.zeros(n_cand, dtype=bool)
@@ -52,17 +83,40 @@ def rank_test(
     if n_perm.shape[1] != candidates.q:
         raise AlgorithmError("stoichiometry/candidate width mismatch")
 
-    support_mask = candidates.supports.to_bool()  # (q, n_cand)
     sizes = candidates.supports.popcounts()
-    for c in range(n_cand):
-        size = int(sizes[c])
-        if size == 0 or size > rank_bound + 1:
-            continue
-        cols = np.nonzero(support_mask[:, c])[0]
-        if n_exact is not None:
-            sub = rational.select_columns(n_exact, cols.tolist())
-            r = rational.exact_rank(sub)
-        else:
-            r = numeric_rank(n_perm[:, cols], policy)
-        accept[c] = (size - r) == 1
+    testable = (sizes > 0) & (sizes <= rank_bound + 1)
+    idx = np.nonzero(testable)[0]
+    if idx.size == 0:
+        return accept
+
+    # Unpack only the survivors of summary rejection — the full-batch bool
+    # matrix is never materialized.
+    words = candidates.supports.words[idx]
+    support_mask = unpack_supports(words, candidates.q)  # (q, n_surv)
+    surv_sizes = sizes[idx]
+
+    if backend == "loop":
+        for pos, c in enumerate(idx):
+            cols = np.nonzero(support_mask[:, pos])[0]
+            if n_exact is not None:
+                sub = rational.select_columns(n_exact, cols.tolist())
+                r = rational.exact_rank(sub)
+            else:
+                r = numeric_rank(n_perm[:, cols], policy)
+            accept[c] = (int(surv_sizes[pos]) - r) == 1
+        return accept
+    if backend != "batched":
+        raise AlgorithmError(f"unknown rank-test backend {backend!r}")
+
+    ranks = bucketed_ranks(
+        n_perm,
+        support_mask,
+        surv_sizes,
+        policy=policy,
+        n_exact=n_exact,
+        words=words,
+        cache=cache,
+        stats=stats,
+    )
+    accept[idx] = (surv_sizes - ranks) == 1
     return accept

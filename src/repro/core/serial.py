@@ -37,6 +37,7 @@ from repro.core.stats import IterationStats, PhaseTimer, RunStats
 from repro.core.trace import IterationTrace
 from repro.errors import AlgorithmError
 from repro.linalg import bitset, rational
+from repro.linalg.batched import CacheBinding, RankCache, problem_token
 
 
 @dataclasses.dataclass
@@ -115,6 +116,7 @@ def iterate_row(
     *,
     pair_range_for: Callable[[int], PairRange] = full_range,
     n_exact: rational.FractionMatrix | None = None,
+    rank_cache: CacheBinding | None = None,
 ) -> tuple[ModeMatrix, ModeMatrix]:
     """One iteration body shared by serial and parallel drivers.
 
@@ -122,12 +124,10 @@ def iterate_row(
     row (zero + positive + negative-if-reversible) and the locally
     generated, deduplicated, acceptance-tested candidates.  The caller
     concatenates (serial) or communicates/merges first (parallel).
+    ``rank_cache`` optionally shares a support-pattern rank memo across
+    iterations (and, for divide-and-conquer drivers, across subproblems).
     """
-    col = modes.column(k)
-    if modes.exact:
-        signs = np.array([(x > 0) - (x < 0) for x in col], dtype=np.int8)
-    else:
-        signs = np.sign(col).astype(np.int8)
+    signs = modes.sign_column(k)
     pos_idx = np.nonzero(signs > 0)[0]
     neg_idx = np.nonzero(signs < 0)[0]
     zero_mask = signs == 0
@@ -175,6 +175,9 @@ def iterate_row(
                     problem.rank,
                     policy=options.policy,
                     n_exact=n_exact,
+                    backend=options.rank_backend,
+                    cache=rank_cache,
+                    stats=stats,
                 )
             if options.acceptance == "both" and not accept.all():
                 raise AlgorithmError(
@@ -193,6 +196,19 @@ def iterate_row(
         stats.n_neg_removed = int((~keep_mask).sum())
         kept = modes.select(np.nonzero(keep_mask)[0])
     return kept, cand
+
+
+def make_rank_binding(
+    problem: NullspaceProblem, options: AlgorithmOptions
+) -> CacheBinding | None:
+    """A fresh per-run rank memo bound to ``problem`` (batched backend
+    only; the loop backend and pure-bittree runs take no cache)."""
+    if options.rank_backend != "batched" or options.acceptance == "bittree":
+        return None
+    token = problem_token(
+        problem.n_perm, options.policy, options.arithmetic == "exact"
+    )
+    return CacheBinding(RankCache(), token)
 
 
 def nullspace_algorithm(
@@ -224,12 +240,15 @@ def nullspace_algorithm(
         raise AlgorithmError(f"stop_row {stop} out of range")
     check_acceptance_applicable(problem, options, stop)
     trace: list[IterationTrace] = []
+    rank_cache = make_rank_binding(problem, options)
 
     for k in range(problem.first_row, stop):
         it = IterationStats(
             position=k, reaction=problem.names[k], reversible=bool(problem.reversible[k])
         )
-        kept, cand = iterate_row(modes, k, problem, options, it, n_exact=n_exact)
+        kept, cand = iterate_row(
+            modes, k, problem, options, it, n_exact=n_exact, rank_cache=rank_cache
+        )
         with PhaseTimer(it, "t_merge"):
             modes = kept.concat(cand) if cand.n_modes else kept
         it.n_modes_end = modes.n_modes

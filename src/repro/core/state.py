@@ -40,7 +40,7 @@ class ModeMatrix:
         already canonical (used on slicing paths).
     """
 
-    __slots__ = ("values", "supports", "policy")
+    __slots__ = ("values", "supports", "policy", "_signs")
 
     def __init__(
         self,
@@ -65,6 +65,7 @@ class ModeMatrix:
                 values[np.abs(values) <= thresh[:, None]] = 0.0
         self.values = values
         self.policy = policy
+        self._signs = None
         if values.dtype == object:
             mask = np.array(
                 [[x != 0 for x in row] for row in values], dtype=bool
@@ -90,6 +91,7 @@ class ModeMatrix:
         out.values = values
         out.supports = supports
         out.policy = policy
+        out._signs = None
         return out
 
     @classmethod
@@ -146,6 +148,23 @@ class ModeMatrix:
         ``(n_modes,)``."""
         return self.values[:, k]
 
+    def sign_matrix(self) -> np.ndarray:
+        """Entry signs as int8, shape ``(n_modes, q)``, computed once and
+        cached.  ``select``/``concat`` propagate the cache, so after the
+        first iteration touches it only *new* candidates pay the (for exact
+        mode, per-element Python comparison) cost."""
+        if self._signs is None:
+            v = self.values
+            if self.exact:
+                self._signs = (v > 0).astype(np.int8) - (v < 0).astype(np.int8)
+            else:
+                self._signs = np.sign(v).astype(np.int8)
+        return self._signs
+
+    def sign_column(self, k: int) -> np.ndarray:
+        """Signs of reaction-position ``k`` across all modes, int8."""
+        return self.sign_matrix()[:, k]
+
     def select(self, idx: np.ndarray | Sequence[int]) -> "ModeMatrix":
         """Subset of modes by index or boolean mask (supports stay in
         sync without re-normalization)."""
@@ -154,6 +173,7 @@ class ModeMatrix:
         out.values = self.values[idx]
         out.policy = self.policy
         out.supports = self.supports[idx]
+        out._signs = None if self._signs is None else self._signs[idx]
         return out
 
     def concat(self, other: "ModeMatrix") -> "ModeMatrix":
@@ -165,6 +185,14 @@ class ModeMatrix:
         out.values = np.concatenate([self.values, other.values], axis=0)
         out.policy = self.policy
         out.supports = self.supports.concat(other.supports)
+        # Keep the sign cache warm once primed: only the (typically small)
+        # other side recomputes, never the accumulated survivor block.
+        if self._signs is None:
+            out._signs = None
+        else:
+            out._signs = np.concatenate(
+                [self.sign_matrix(), other.sign_matrix()], axis=0
+            )
         return out
 
     def dedup(self) -> "ModeMatrix":

@@ -35,6 +35,12 @@ class IterationStats:
     #: candidates submitted to the acceptance (rank / bittree) test.
     n_tested: int = 0
     n_accepted: int = 0
+    #: rank tests answered from the support-pattern memo (batched backend).
+    n_rank_cache_hits: int = 0
+    #: batched LAPACK calls issued (one per non-empty miss bucket).
+    n_rank_batches: int = 0
+    #: largest single batch handed to the batched decomposition.
+    rank_batch_max: int = 0
     #: old negative-entry columns dropped (irreversible rows only).
     n_neg_removed: int = 0
     #: mode count after the iteration.
@@ -72,6 +78,14 @@ class RunStats:
     @property
     def total_rank_tests(self) -> int:
         return sum(it.n_tested for it in self.iterations)
+
+    @property
+    def total_rank_cache_hits(self) -> int:
+        return sum(it.n_rank_cache_hits for it in self.iterations)
+
+    @property
+    def total_rank_batches(self) -> int:
+        return sum(it.n_rank_batches for it in self.iterations)
 
     @property
     def t_gen_cand(self) -> float:
@@ -130,6 +144,9 @@ class RunStats:
                     n_duplicates=a.n_duplicates + b.n_duplicates,
                     n_tested=a.n_tested + b.n_tested,
                     n_accepted=a.n_accepted + b.n_accepted,
+                    n_rank_cache_hits=a.n_rank_cache_hits + b.n_rank_cache_hits,
+                    n_rank_batches=a.n_rank_batches + b.n_rank_batches,
+                    rank_batch_max=max(a.rank_batch_max, b.rank_batch_max),
                     n_neg_removed=a.n_neg_removed,
                     n_modes_end=max(a.n_modes_end, b.n_modes_end),
                     t_gen_cand=max(a.t_gen_cand, b.t_gen_cand),

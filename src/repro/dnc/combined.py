@@ -34,10 +34,12 @@ from repro.errors import (
     PartitionError,
     ReversibleIdentityError,
 )
-from repro.efm.splitting import SplitRecord, split_reversible
+from repro.efm.splitting import BWD_SUFFIX, FWD_SUFFIX, SplitRecord, split_reversible
+from repro.linalg.batched import CacheBinding, RankCache, problem_token
 from repro.mpi.spmd import BackendName
 from repro.mpi.tracing import CommTrace
 from repro.network.model import MetabolicNetwork
+from repro.network.stoichiometry import stoichiometric_matrix
 from repro.parallel.combinatorial import combinatorial_parallel
 from repro.parallel.pairs import PairStrategyName
 
@@ -102,6 +104,38 @@ class CombinedRunResult:
         return np.concatenate(parts, axis=0)
 
 
+def shared_rank_cache(
+    reduced: MetabolicNetwork, options: AlgorithmOptions
+) -> tuple[RankCache, bytes] | None:
+    """One rank memo for *all* subproblems of a divide-and-conquer run.
+
+    Every subproblem's stoichiometry is the reduced network's with some
+    columns deleted (and possibly split into sign-flipped copies), so the
+    rank of a submatrix depends only on which reduced-network columns the
+    support selects — disjoint subsets repeatedly test overlapping
+    supports of the same matrix, and Algorithm 3's redundancy becomes
+    cache hits.  Returns ``(cache, token)`` or ``None`` when the batched
+    backend is off.
+    """
+    if options.rank_backend != "batched" or options.acceptance == "bittree":
+        return None
+    token = problem_token(
+        stoichiometric_matrix(reduced),
+        options.policy,
+        options.arithmetic == "exact",
+    )
+    return RankCache(), token
+
+
+def _canonical_name(name: str) -> str:
+    """Map a (possibly split) work-net reaction name back to its
+    reduced-network origin."""
+    for suffix in (FWD_SUFFIX, BWD_SUFFIX):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
 def solve_subset(
     reduced: MetabolicNetwork,
     spec: SubsetSpec,
@@ -112,8 +146,15 @@ def solve_subset(
     pair_strategy: PairStrategyName = "strided",
     memory_model: MemoryModel | None = None,
     auto_split: bool = True,
+    rank_memo: tuple[RankCache, bytes] | None = None,
 ) -> SubsetResult:
-    """Solve one subset's subproblem with Algorithm 2 (lines 3–22)."""
+    """Solve one subset's subproblem with Algorithm 2 (lines 3–22).
+
+    ``rank_memo`` (from :func:`shared_rank_cache`) shares support-pattern
+    rank results with the run's other subproblems; keys are canonical
+    reduced-network column sets, so differing permutations, deletions and
+    reversible splits all address the same entries.
+    """
     validate_partition(reduced, spec.partition)
     t0 = time.perf_counter()
     q_red = reduced.n_reactions
@@ -160,6 +201,14 @@ def solve_subset(
         raise PartitionError(f"subset {spec.label()}: splitting did not converge")
 
     stop = problem.q if fallback else problem.q - len(force_last)
+    binding = None
+    if rank_memo is not None:
+        cache, token = rank_memo
+        canon = {name: j for j, name in enumerate(reduced.reaction_names)}
+        col_ids = np.array(
+            [canon[_canonical_name(nm)] for nm in problem.names], dtype=np.int64
+        )
+        binding = CacheBinding(cache, token, col_ids)
     try:
         run = combinatorial_parallel(
             problem,
@@ -169,6 +218,7 @@ def solve_subset(
             pair_strategy=pair_strategy,
             stop_row=stop,
             memory_model=memory_model.fresh() if memory_model is not None else None,
+            rank_cache=binding,
         )
     except OutOfMemoryError as exc:
         return SubsetResult(
@@ -256,6 +306,7 @@ def combined_parallel(
     specs = enumerate_subsets(tuple(partition))
     if subset_ids is not None:
         specs = [specs[i] for i in subset_ids]
+    rank_memo = shared_rank_cache(reduced, options)
     results = [
         solve_subset(
             reduced,
@@ -265,6 +316,7 @@ def combined_parallel(
             backend=backend,
             pair_strategy=pair_strategy,
             memory_model=memory_model,
+            rank_memo=rank_memo,
         )
         for spec in specs
     ]

@@ -1,6 +1,13 @@
 """Linear-algebra substrate: exact rational routines, tolerant floating
 routines, and packed bitset support patterns."""
 
+from repro.linalg.batched import (
+    CacheBinding,
+    RankCache,
+    batched_ranks,
+    bucketed_ranks,
+    problem_token,
+)
 from repro.linalg.bitset import (
     PackedSupports,
     pack_supports,
@@ -23,6 +30,11 @@ from repro.linalg.rational import (
 )
 
 __all__ = [
+    "CacheBinding",
+    "RankCache",
+    "batched_ranks",
+    "bucketed_ranks",
+    "problem_token",
     "PackedSupports",
     "pack_supports",
     "popcount",

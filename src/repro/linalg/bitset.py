@@ -108,27 +108,32 @@ class PackedSupports:
 
 def pack_supports(mask: np.ndarray) -> np.ndarray:
     """Pack a boolean ``(n_rows, n_modes)`` mask into ``(n_modes, n_words)``
-    uint64 words (bit r of mode j == mask[r, j])."""
+    uint64 words (bit r of mode j == mask[r, j]).
+
+    ``np.packbits(bitorder="little")`` emits bytes whose bit ``r & 7`` is
+    row ``r``; reinterpreting 8 little-endian bytes as one uint64 puts row
+    ``r`` at word bit ``r & 63`` — the layout documented above — without
+    any per-bit multiply/sum.
+    """
     if mask.ndim != 2:
         raise LinAlgError("pack_supports expects a 2-D mask")
     n_rows, n_modes = mask.shape
     nw = n_words_for(n_rows)
-    padded = np.zeros((nw * BITS_PER_WORD, n_modes), dtype=bool)
-    padded[:n_rows] = mask
-    # (nw, 64, n_modes) -> weight bits within each word.
-    bits = padded.reshape(nw, BITS_PER_WORD, n_modes).astype(WORD)
-    weights = (WORD(1) << np.arange(BITS_PER_WORD, dtype=WORD))[None, :, None]
-    words = (bits * weights).sum(axis=1, dtype=WORD)  # (nw, n_modes)
-    return np.ascontiguousarray(words.T)
+    by_mode = np.ascontiguousarray(mask.T, dtype=np.uint8)  # (n_modes, n_rows)
+    packed = np.packbits(by_mode, axis=1, bitorder="little")
+    n_bytes = nw * (BITS_PER_WORD // 8)
+    if packed.shape[1] < n_bytes:
+        packed = np.pad(packed, ((0, 0), (0, n_bytes - packed.shape[1])))
+    words = np.ascontiguousarray(packed).view("<u8")
+    return np.ascontiguousarray(words.astype(WORD, copy=False))
 
 
 def unpack_supports(words: np.ndarray, n_rows: int) -> np.ndarray:
     """Inverse of :func:`pack_supports`."""
     n_modes, nw = words.shape
-    shifts = np.arange(BITS_PER_WORD, dtype=WORD)
-    bits = ((words[:, :, None] >> shifts[None, None, :]) & WORD(1)).astype(bool)
-    flat = bits.reshape(n_modes, nw * BITS_PER_WORD).T
-    return np.ascontiguousarray(flat[:n_rows])
+    as_bytes = np.ascontiguousarray(words.astype("<u8", copy=False)).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")  # (n_modes, nw*64)
+    return np.ascontiguousarray(bits[:, :n_rows].T.astype(bool))
 
 
 def popcount(words: np.ndarray) -> np.ndarray:

@@ -23,12 +23,18 @@ import numpy as np
 
 from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.core.kernel import NullspaceProblem
-from repro.core.serial import NullspaceResult, check_acceptance_applicable, iterate_row
+from repro.core.serial import (
+    NullspaceResult,
+    check_acceptance_applicable,
+    iterate_row,
+    make_rank_binding,
+)
 from repro.core.state import ModeMatrix
 from repro.core.stats import IterationStats, RunStats
 from repro.cluster.memory import MemoryModel
 from repro.errors import AlgorithmError
 from repro.linalg import bitset, rational
+from repro.linalg.batched import CacheBinding
 from repro.linalg.bitset import PackedSupports
 from repro.mpi.comm import Communicator
 from repro.mpi.spmd import BackendName, run_spmd
@@ -78,9 +84,16 @@ def combinatorial_worker(
     pair_strategy: PairStrategyName = "strided",
     stop_row: int | None = None,
     memory_model: MemoryModel | None = None,
+    rank_cache: CacheBinding | None = None,
 ) -> NullspaceResult:
     """SPMD body of Algorithm 2 — call through :func:`combinatorial_parallel`
-    or hand it directly to :func:`repro.mpi.spmd.run_spmd`."""
+    or hand it directly to :func:`repro.mpi.spmd.run_spmd`.
+
+    ``rank_cache`` overrides the per-worker rank memo — the
+    divide-and-conquer driver passes a binding shared across subproblems
+    (in-process backends share the dict; the process backend degrades to
+    per-process copies, which is merely a smaller cache, never wrong).
+    """
     t_start = time.perf_counter()
     strategy = get_pair_strategy(pair_strategy)
     exact = options.arithmetic == "exact"
@@ -96,6 +109,8 @@ def combinatorial_worker(
     if not (problem.first_row <= stop <= problem.q):
         raise AlgorithmError(f"stop_row {stop} out of range")
     check_acceptance_applicable(problem, options, stop)
+    if rank_cache is None:
+        rank_cache = make_rank_binding(problem, options)
 
     for k in range(problem.first_row, stop):
         it = IterationStats(
@@ -111,6 +126,7 @@ def combinatorial_worker(
             it,
             pair_range_for=lambda n: strategy(n, comm.rank, comm.size),
             n_exact=n_exact,
+            rank_cache=rank_cache,
         )
 
         # Communicate&Merge: exchange accepted local candidates; every rank
@@ -161,6 +177,7 @@ def combinatorial_parallel(
     pair_strategy: PairStrategyName = "strided",
     stop_row: int | None = None,
     memory_model: MemoryModel | None = None,
+    rank_cache: CacheBinding | None = None,
 ) -> ParallelRunResult:
     """Run Algorithm 2 on ``n_ranks`` simulated ranks.
 
@@ -177,6 +194,7 @@ def combinatorial_parallel(
             "pair_strategy": pair_strategy,
             "stop_row": stop_row,
             "memory_model": memory_model,
+            "rank_cache": rank_cache,
         },
     )
     results = [r for r, _ in outs]

@@ -29,6 +29,7 @@ from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.core.candidates import generate_candidates, strided_range
 from repro.core.kernel import NullspaceProblem
 from repro.core.ranktest import rank_test
+from repro.core.serial import make_rank_binding
 from repro.core.state import ModeMatrix
 from repro.core.stats import IterationStats, RunStats
 from repro.errors import AlgorithmError
@@ -87,6 +88,7 @@ def distributed_worker(
     local = kernel_modes.select(np.arange(comm.rank, kernel_modes.n_modes, comm.size))
     stats = RunStats()
     stop = problem.q if stop_row is None else stop_row
+    rank_cache = make_rank_binding(problem, options)
 
     for k in range(problem.first_row, stop):
         it = IterationStats(
@@ -94,8 +96,7 @@ def distributed_worker(
             reaction=problem.names[k],
             reversible=bool(problem.reversible[k]),
         )
-        col = local.column(k)
-        signs = np.sign(col).astype(np.int8)
+        signs = local.sign_column(k)
         my_pos = local.select(np.nonzero(signs > 0)[0])
         my_neg = local.select(np.nonzero(signs < 0)[0])
         zero_keep = local.select(np.nonzero(signs == 0)[0])
@@ -132,7 +133,13 @@ def distributed_worker(
             it.n_tested = cand.n_modes
             with _timer(it, "t_rank_test"):
                 accept = rank_test(
-                    cand, problem.n_perm, problem.rank, policy=options.policy
+                    cand,
+                    problem.n_perm,
+                    problem.rank,
+                    policy=options.policy,
+                    backend=options.rank_backend,
+                    cache=rank_cache,
+                    stats=it,
                 )
                 cand = cand.select(accept)
             it.n_accepted = cand.n_modes
