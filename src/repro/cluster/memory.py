@@ -14,9 +14,16 @@ divide-and-conquer splitter.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.state import ModeMatrix
 from repro.errors import OutOfMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dnc.subsets import SubsetSpec
+    from repro.network.model import MetabolicNetwork
 
 
 @dataclasses.dataclass
@@ -76,3 +83,44 @@ def estimate_mode_bytes(n_modes: int, q: int) -> int:
     conquer planner before a subproblem runs."""
     words = max(1, (q + 63) // 64)
     return n_modes * (8 * q + 8 * words)
+
+
+def predict_subset_peak_bytes(
+    reduced: "MetabolicNetwork",
+    spec: "SubsetSpec",
+    *,
+    working_factor: float = 1.5,
+) -> int:
+    """A-priori peak-footprint prediction for one divide-and-conquer
+    subproblem, before its kernel is built.
+
+    The subproblem's stoichiometry is the reduced network's with the
+    subset's zero-flux columns deleted; its kernel starts with ``nullity``
+    modes and grows over the ``q_work - rank - |pinned|`` processed rows.
+    The true peak is exponential in the worst case and unknowable a
+    priori, so this uses the linear-growth surrogate
+    ``nullity * (1 + rows_to_process)`` — a deterministic, monotone proxy
+    good enough for two scheduler decisions that only need *ordering* and
+    *relative magnitude*: largest-predicted-first dispatch (LPT
+    makespan heuristic) and the admission budget that bounds how much
+    predicted peak may be in flight concurrently.
+
+    Returns 0 for structurally empty subproblems (no flux possible).
+    """
+    from repro.network.stoichiometry import stoichiometric_matrix  # noqa: PLC0415
+
+    n = stoichiometric_matrix(reduced)
+    if spec.zero:
+        names = reduced.reaction_names
+        keep = [j for j, nm in enumerate(names) if nm not in set(spec.zero)]
+        n = n[:, keep]
+    q_work = n.shape[1]
+    if q_work == 0:
+        return 0
+    rank = int(np.linalg.matrix_rank(n)) if n.size else 0
+    nullity = q_work - rank
+    if nullity <= 0:
+        return 0
+    rows_to_process = max(0, rank - len(spec.nonzero))
+    peak_modes = nullity * (1 + rows_to_process)
+    return int(working_factor * estimate_mode_bytes(peak_modes, q_work))

@@ -26,11 +26,11 @@ import numpy as np
 
 from repro.config import AlgorithmOptions, DEFAULT_OPTIONS
 from repro.core.kernel import NullspaceProblem
-from repro.core.serial import NullspaceResult, iterate_row
+from repro.core.serial import NullspaceResult, check_acceptance_applicable, iterate_row
 from repro.core.state import ModeMatrix
 from repro.core.stats import IterationStats, PhaseTimer, RunStats
+from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
-from repro.linalg import rational
 from repro.linalg.bitset import PackedSupports
 
 #: Format version; bump on incompatible layout changes.
@@ -137,12 +137,13 @@ def _stats_from_dict(d: dict) -> RunStats:
 
 def checkpointed_nullspace_algorithm(
     problem: NullspaceProblem,
-    checkpoint_path: str | Path,
+    checkpoint_path: str | Path | None = None,
     *,
     options: AlgorithmOptions = DEFAULT_OPTIONS,
-    checkpoint_every: int = 1,
+    checkpoint_every: int | None = None,
     stop_row: int | None = None,
     memory_check=None,
+    context: RunContext | None = None,
 ) -> NullspaceResult:
     """Run (or resume) Algorithm 1 with periodic checkpoints.
 
@@ -151,7 +152,20 @@ def checkpointed_nullspace_algorithm(
     A snapshot is written every ``checkpoint_every`` iterations and after
     the final one.  Exact arithmetic is not checkpointable (Fractions
     don't round-trip through .npz) and raises.
+
+    ``checkpoint_path`` / ``checkpoint_every`` default to the context's
+    checkpoint configuration; at least one source must provide the path.
     """
+    ctx = RunContext.ensure(context, options=options)
+    options = ctx.options
+    if checkpoint_path is None:
+        checkpoint_path = ctx.checkpoint_path
+    if checkpoint_every is None:
+        checkpoint_every = ctx.checkpoint_every
+    if checkpoint_path is None:
+        raise AlgorithmError(
+            "checkpointed run needs a checkpoint path (argument or context)"
+        )
     if options.arithmetic != "float":
         raise AlgorithmError("checkpointing supports float arithmetic only")
     if checkpoint_every < 1:
@@ -182,16 +196,13 @@ def checkpointed_nullspace_algorithm(
     t_start = time.perf_counter()
     n_exact = None
     if options.acceptance != "rank":
-        from repro.core.serial import check_acceptance_applicable  # noqa: PLC0415
-
         check_acceptance_applicable(problem, options, stop)
-    from repro.core.serial import make_rank_binding  # noqa: PLC0415
-
-    rank_cache = make_rank_binding(problem, options)
+    rank_cache = ctx.rank_binding_for(problem)
+    if memory_check is None:
+        memory = ctx.fresh_memory()
+        memory_check = memory.check if memory is not None else None
     for k in range(start_row, stop):
-        it = IterationStats(
-            position=k, reaction=problem.names[k], reversible=bool(problem.reversible[k])
-        )
+        it = ctx.new_iteration(problem, k)
         kept, cand = iterate_row(
             modes, k, problem, options, it, n_exact=n_exact, rank_cache=rank_cache
         )
@@ -213,6 +224,7 @@ def checkpointed_nullspace_algorithm(
             ).save(path)
 
     stats.t_total = elapsed0 + time.perf_counter() - t_start
+    ctx.collect(stats)
     return NullspaceResult(
         problem=problem, modes=modes, stats=stats, stopped_at=stop
     )

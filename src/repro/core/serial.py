@@ -35,9 +35,10 @@ from repro.core.ranktest import rank_test
 from repro.core.state import ModeMatrix
 from repro.core.stats import IterationStats, PhaseTimer, RunStats
 from repro.core.trace import IterationTrace
+from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
 from repro.linalg import bitset, rational
-from repro.linalg.batched import CacheBinding, RankCache, problem_token
+from repro.linalg.batched import CacheBinding
 
 
 @dataclasses.dataclass
@@ -46,8 +47,12 @@ class NullspaceResult:
 
     ``modes`` is in the problem's *processing* permutation; use
     :meth:`efms_input_order` for the caller's column order.  For
-    divide-and-conquer runs stopped early (``stopped_at < q``) the modes
-    are an intermediate matrix, not yet a full EFM set.
+    divide-and-conquer runs stopped early (``stopped_at < q``,
+    Proposition 1) the modes are an intermediate nullspace matrix, *not*
+    a full EFM set — the EFM accessors (:attr:`n_efms`,
+    :meth:`efms_input_order`) refuse to serve them and raise
+    :class:`~repro.errors.AlgorithmError`; read :attr:`modes` directly for
+    intermediate-state access (as the divide-and-conquer driver does).
     """
 
     problem: NullspaceProblem
@@ -58,19 +63,36 @@ class NullspaceResult:
 
     @property
     def complete(self) -> bool:
+        """Whether every non-identity row was processed (``stopped_at ==
+        q``); early-stopped divide-and-conquer runs are incomplete."""
         return self.stopped_at >= self.problem.q
+
+    def _require_complete(self) -> None:
+        if not self.complete:
+            raise AlgorithmError(
+                f"run stopped early at row {self.stopped_at} of "
+                f"{self.problem.q}; the mode matrix is an intermediate "
+                "nullspace state, not an EFM set — finish the remaining "
+                "rows or read .modes for the intermediate matrix"
+            )
 
     @property
     def n_efms(self) -> int:
-        if not self.complete:
-            raise AlgorithmError("run stopped early; modes are not yet EFMs")
+        self._require_complete()
         return self.modes.n_modes
 
     def efms_input_order(self) -> np.ndarray:
         """EFMs as a ``(n_modes, q)`` float64 array with columns in the
-        problem's input reaction order."""
-        if not self.complete:
-            raise AlgorithmError("run stopped early; modes are not yet EFMs")
+        problem's input reaction order.
+
+        Raises
+        ------
+        AlgorithmError
+            When the run stopped early (``complete`` is False): the
+            intermediate modes are not EFMs and silently returning them
+            would corrupt downstream unions.
+        """
+        self._require_complete()
         vals = self.modes.values
         if self.modes.exact:
             vals = np.array(
@@ -202,13 +224,13 @@ def make_rank_binding(
     problem: NullspaceProblem, options: AlgorithmOptions
 ) -> CacheBinding | None:
     """A fresh per-run rank memo bound to ``problem`` (batched backend
-    only; the loop backend and pure-bittree runs take no cache)."""
-    if options.rank_backend != "batched" or options.acceptance == "bittree":
-        return None
-    token = problem_token(
-        problem.n_perm, options.policy, options.arithmetic == "exact"
-    )
-    return CacheBinding(RankCache(), token)
+    only; the loop backend and pure-bittree runs take no cache).
+
+    Thin compatibility wrapper over
+    :meth:`repro.engine.context.RunContext.rank_binding_for`, the single
+    point of truth for rank-cache wiring.
+    """
+    return RunContext(options=options).rank_binding_for(problem)
 
 
 def nullspace_algorithm(
@@ -217,6 +239,7 @@ def nullspace_algorithm(
     options: AlgorithmOptions = DEFAULT_OPTIONS,
     stop_row: int | None = None,
     memory_check: MemoryCheck | None = None,
+    context: RunContext | None = None,
 ) -> NullspaceResult:
     """Run Algorithm 1 on a prepared problem.
 
@@ -228,24 +251,30 @@ def nullspace_algorithm(
     memory_check:
         Called after every iteration with ``(iteration, modes)``; may raise
         :class:`repro.errors.OutOfMemoryError` to model a node-memory
-        limit.
+        limit.  Overrides the context's memory model when given.
+    context:
+        The run's :class:`~repro.engine.context.RunContext`.  When absent a
+        private one is built from ``options`` (legacy call style).
     """
+    ctx = RunContext.ensure(context, options=options)
+    options = ctx.options
     t_start = time.perf_counter()
     exact = options.arithmetic == "exact"
-    n_exact = rational.from_numpy(problem.n_perm) if exact else None
+    n_exact = ctx.n_exact_for(problem)
     modes = ModeMatrix.from_kernel(problem.kernel, exact=exact, policy=options.policy)
     stats = RunStats()
     stop = problem.q if stop_row is None else stop_row
     if not (problem.first_row <= stop <= problem.q):
         raise AlgorithmError(f"stop_row {stop} out of range")
     check_acceptance_applicable(problem, options, stop)
-    trace: list[IterationTrace] = []
-    rank_cache = make_rank_binding(problem, options)
+    recorder = ctx.trace_recorder()
+    rank_cache = ctx.rank_binding_for(problem)
+    if memory_check is None:
+        memory = ctx.fresh_memory()
+        memory_check = memory.check if memory is not None else None
 
     for k in range(problem.first_row, stop):
-        it = IterationStats(
-            position=k, reaction=problem.names[k], reversible=bool(problem.reversible[k])
-        )
+        it = ctx.new_iteration(problem, k)
         kept, cand = iterate_row(
             modes, k, problem, options, it, n_exact=n_exact, rank_cache=rank_cache
         )
@@ -254,12 +283,16 @@ def nullspace_algorithm(
         it.n_modes_end = modes.n_modes
         stats.add(it)
         stats.peak_mode_bytes = max(stats.peak_mode_bytes, modes.nbytes())
-        if options.record_trace:
-            trace.append(IterationTrace.capture(k, problem, modes))
+        recorder.capture(k, problem, modes)
         if memory_check is not None:
             memory_check(k, modes)
 
     stats.t_total = time.perf_counter() - t_start
+    ctx.collect(stats)
     return NullspaceResult(
-        problem=problem, modes=modes, stats=stats, stopped_at=stop, trace=trace
+        problem=problem,
+        modes=modes,
+        stats=stats,
+        stopped_at=stop,
+        trace=recorder.snapshots,
     )

@@ -22,6 +22,7 @@ from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.cluster.memory import MemoryModel
 from repro.dnc.combined import CombinedRunResult, SubsetResult, solve_subset
 from repro.dnc.subsets import SubsetSpec, enumerate_subsets, validate_partition
+from repro.engine.context import RunContext
 from repro.errors import PartitionError
 from repro.mpi.spmd import BackendName
 from repro.network.model import MetabolicNetwork
@@ -90,6 +91,7 @@ def adaptive_combined(
     backend: BackendName = "sequential",
     max_depth: int = 4,
     extension_chooser: ExtensionChooser = default_extension_chooser,
+    context: RunContext | None = None,
 ) -> AdaptiveResult:
     """Algorithm 3 with automatic memory-driven subset refinement.
 
@@ -98,6 +100,11 @@ def adaptive_combined(
     reactions).
     """
     validate_partition(reduced, tuple(partition))
+    ctx = RunContext.ensure(context, options=options, memory_model=memory_model)
+    if ctx.memory_model is None:
+        ctx.memory_model = memory_model
+    if ctx.shared_rank_memo is None:
+        ctx.bind_shared_rank_memo(reduced)
     queue: list[tuple[SubsetSpec, int]] = [
         (spec, 0) for spec in enumerate_subsets(tuple(partition))
     ]
@@ -111,9 +118,8 @@ def adaptive_combined(
             reduced,
             spec,
             n_ranks,
-            options=options,
             backend=backend,
-            memory_model=memory_model,
+            context=ctx,
         )
         if result.completed:
             done.append(result)

@@ -15,11 +15,14 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.core.kernel import NullspaceProblem, build_problem
 from repro.core.serial import nullspace_algorithm
 from repro.cluster.memory import MemoryModel
 from repro.dnc.combined import combined_parallel
+from repro.engine.context import RunContext
 from repro.dnc.selection import SelectionMethod, select_partition_reactions
 from repro.efm.result import EFMResult
 from repro.efm.splitting import SplitRecord, split_reversible
@@ -47,6 +50,12 @@ def compute_efms(
     partition_method: SelectionMethod = "tail",
     pair_strategy: PairStrategyName = "strided",
     memory_model: MemoryModel | None = None,
+    executor: str = "inline",
+    max_workers: int | None = None,
+    schedule: str | Sequence[int] = "predicted-peak",
+    on_oom: str = "record",
+    checkpoint_path: str | Path | None = None,
+    context: RunContext | None = None,
 ) -> EFMResult:
     """Compute all elementary flux modes of ``network``.
 
@@ -71,12 +80,36 @@ def compute_efms(
     memory_model:
         Optional per-rank memory cap (modeled); see
         :class:`repro.cluster.memory.MemoryModel`.
+    executor, max_workers, schedule:
+        For ``method="combined"``: how the subproblem scheduler dispatches
+        the subsets — ``"inline"``, ``"process-pool"`` (OS worker
+        processes with work stealing) or ``"spmd"``; the EFM set is
+        bit-identical across all three.  See
+        :class:`repro.engine.scheduler.SubproblemScheduler`.
+    on_oom:
+        For ``method="combined"`` with a memory model: ``"record"``
+        (default) raises when a subset exceeds memory, pointing at the
+        adaptive refiner; ``"degrade"`` re-runs such subsets on the
+        checkpointed serial path so the call still completes.
+    checkpoint_path:
+        ``method="serial"``: snapshot ``.npz`` for the checkpointed
+        driver.  ``method="combined"``: scheduler checkpoint *directory*
+        — completed subsets persist and a rerun resumes from them.
+    context:
+        A pre-built :class:`~repro.engine.context.RunContext`; overrides
+        ``options``/``memory_model``/``checkpoint_path``.
 
     Returns
     -------
     EFMResult
         Modes in the original network's reaction order.
     """
+    ctx = context if context is not None else RunContext(
+        options=options,
+        memory_model=memory_model,
+        checkpoint_path=checkpoint_path,
+    )
+    options = ctx.options
     if compress:
         rec = compress_network(network)
     else:
@@ -94,19 +127,26 @@ def compute_efms(
             reduced,
             part,
             n_ranks,
-            options=options,
             backend=backend,
             pair_strategy=pair_strategy,
-            memory_model=memory_model,
+            executor=executor,
+            max_workers=max_workers,
+            schedule=schedule,
+            on_oom=on_oom,
+            context=ctx,
         )
         if not run.complete:
             failed = [s.spec.label() for s in run.subsets if not s.completed]
             raise AlgorithmError(
                 f"divide-and-conquer subsets exceeded memory: {failed}; use "
-                "repro.dnc.adaptive.adaptive_combined for automatic refinement"
+                "on_oom='degrade' to fall back to the checkpointed serial "
+                "path, or repro.dnc.adaptive.adaptive_combined for automatic "
+                "refinement"
             )
         efms_reduced = run.efms()
         stats = None
+        meta["executor"] = executor
+        meta["scheduler"] = run.meta
         meta["subsets"] = [
             (s.spec.label(), s.n_efms, s.n_candidates) for s in run.subsets
         ]
@@ -116,27 +156,29 @@ def compute_efms(
         if method == "serial":
             if n_ranks != 1:
                 raise AlgorithmError("serial method runs on exactly 1 rank")
-            res = nullspace_algorithm(
-                problem,
-                options=options,
-                memory_check=memory_model.fresh().check if memory_model else None,
-            )
+            if ctx.checkpoint_path is not None:
+                from repro.core.checkpoint import (  # noqa: PLC0415
+                    checkpointed_nullspace_algorithm,
+                )
+
+                res = checkpointed_nullspace_algorithm(problem, context=ctx)
+            else:
+                res = nullspace_algorithm(problem, context=ctx)
             efms_work = res.efms_input_order()
             stats = res.stats
         elif method == "parallel":
             run = combinatorial_parallel(
                 problem,
                 n_ranks,
-                options=options,
                 backend=backend,
                 pair_strategy=pair_strategy,
-                memory_model=memory_model,
+                context=ctx,
             )
             efms_work = run.result.efms_input_order()
             stats = run.stats
         elif method == "distributed":
             drun = distributed_parallel(
-                problem, n_ranks, options=options, backend=backend
+                problem, n_ranks, backend=backend, context=ctx
             )
             efms_work = drun.efms_input_order()
             stats = drun.rank_stats[0]

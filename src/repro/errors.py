@@ -66,6 +66,18 @@ class CommunicatorError(ReproError):
     """Misuse or internal failure of the message-passing substrate."""
 
 
+class SchedulerError(ReproError):
+    """The subproblem scheduler or one of its executors failed.
+
+    Raised when an executor worker dies with a non-algorithmic error, when
+    a scheduler checkpoint directory belongs to a different run, or when an
+    invalid executor/schedule combination is requested.  Algorithmic
+    failures inside a subproblem (:class:`OutOfMemoryError`) are *not*
+    wrapped in this error — they are captured per subset and handled by the
+    scheduler's admission/degradation policy.
+    """
+
+
 class OutOfMemoryError(ReproError):
     """The modeled per-node memory capacity was exceeded.
 

@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Literal
 
 from repro.errors import CommunicatorError
 from repro.mpi.comm import Communicator
 
 BackendName = Literal["sequential", "thread", "process"]
+
+
+def available_parallelism(cap: int = 8) -> int:
+    """Usable worker-process count on this host, capped.
+
+    The subproblem scheduler's default ``max_workers``: the scheduling
+    overhead of more workers than cores is pure loss for the CPU-bound
+    rank-test phases, and benchmark hosts vary from 1-core CI runners to
+    large shared machines, so this clamps ``os.cpu_count()`` to
+    ``[1, cap]``.
+    """
+    return max(1, min(cap, os.cpu_count() or 1))
 
 
 def get_engine(backend: BackendName):
@@ -49,4 +62,10 @@ def run_spmd(
     return get_engine(backend).run(fn, size, args=args, kwargs=kwargs or {})
 
 
-__all__ = ["run_spmd", "get_engine", "BackendName", "Communicator"]
+__all__ = [
+    "run_spmd",
+    "get_engine",
+    "available_parallelism",
+    "BackendName",
+    "Communicator",
+]

@@ -27,13 +27,13 @@ from repro.core.serial import (
     NullspaceResult,
     check_acceptance_applicable,
     iterate_row,
-    make_rank_binding,
 )
 from repro.core.state import ModeMatrix
-from repro.core.stats import IterationStats, RunStats
+from repro.core.stats import RunStats
 from repro.cluster.memory import MemoryModel
+from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
-from repro.linalg import bitset, rational
+from repro.linalg import bitset
 from repro.linalg.batched import CacheBinding
 from repro.linalg.bitset import PackedSupports
 from repro.mpi.comm import Communicator
@@ -85,6 +85,7 @@ def combinatorial_worker(
     stop_row: int | None = None,
     memory_model: MemoryModel | None = None,
     rank_cache: CacheBinding | None = None,
+    context: RunContext | None = None,
 ) -> NullspaceResult:
     """SPMD body of Algorithm 2 — call through :func:`combinatorial_parallel`
     or hand it directly to :func:`repro.mpi.spmd.run_spmd`.
@@ -94,30 +95,28 @@ def combinatorial_worker(
     (in-process backends share the dict; the process backend degrades to
     per-process copies, which is merely a smaller cache, never wrong).
     """
+    ctx = RunContext.ensure(context, options=options)
+    options = ctx.options
     t_start = time.perf_counter()
     strategy = get_pair_strategy(pair_strategy)
     exact = options.arithmetic == "exact"
-    n_exact = rational.from_numpy(problem.n_perm) if exact else None
+    n_exact = ctx.n_exact_for(problem)
     modes = ModeMatrix.from_kernel(problem.kernel, exact=exact, policy=options.policy)
     stats = RunStats()
     # The model instance is shared across in-process ranks deliberately:
     # replicas have identical footprints, and sharing lets a dry-run probe
     # report the observed peak back to the caller.  Per-subproblem
     # isolation is the *driver's* job (solve_subset calls .fresh()).
-    memory = memory_model
+    memory = memory_model if memory_model is not None else ctx.memory_model
     stop = problem.q if stop_row is None else stop_row
     if not (problem.first_row <= stop <= problem.q):
         raise AlgorithmError(f"stop_row {stop} out of range")
     check_acceptance_applicable(problem, options, stop)
     if rank_cache is None:
-        rank_cache = make_rank_binding(problem, options)
+        rank_cache = ctx.rank_binding_for(problem)
 
     for k in range(problem.first_row, stop):
-        it = IterationStats(
-            position=k,
-            reaction=problem.names[k],
-            reversible=bool(problem.reversible[k]),
-        )
+        it = ctx.new_iteration(problem, k)
         kept, cand_local = iterate_row(
             modes,
             k,
@@ -157,6 +156,7 @@ def combinatorial_worker(
     if isinstance(comm, TracingCommunicator):
         stats.bytes_sent = comm.trace.bytes_sent
         stats.messages_sent = comm.trace.n_messages
+    ctx.collect(stats)
     return NullspaceResult(
         problem=problem, modes=modes, stats=stats, stopped_at=stop
     )
@@ -178,6 +178,7 @@ def combinatorial_parallel(
     stop_row: int | None = None,
     memory_model: MemoryModel | None = None,
     rank_cache: CacheBinding | None = None,
+    context: RunContext | None = None,
 ) -> ParallelRunResult:
     """Run Algorithm 2 on ``n_ranks`` simulated ranks.
 
@@ -185,16 +186,18 @@ def combinatorial_parallel(
     :class:`ParallelRunResult` carries rank 0's result plus every rank's
     statistics and communication trace (for modeled timing).
     """
+    ctx = RunContext.ensure(context, options=options)
     outs = run_spmd(
         _traced_worker,
         n_ranks,
         backend=backend,
-        args=(problem, options),
+        args=(problem, ctx.options),
         kwargs={
             "pair_strategy": pair_strategy,
             "stop_row": stop_row,
             "memory_model": memory_model,
             "rank_cache": rank_cache,
+            "context": ctx,
         },
     )
     results = [r for r, _ in outs]

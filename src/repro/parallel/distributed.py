@@ -29,9 +29,9 @@ from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.core.candidates import generate_candidates, strided_range
 from repro.core.kernel import NullspaceProblem
 from repro.core.ranktest import rank_test
-from repro.core.serial import make_rank_binding
 from repro.core.state import ModeMatrix
 from repro.core.stats import IterationStats, RunStats
+from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
 from repro.linalg import bitset, rational
 from repro.linalg.bitset import PackedSupports
@@ -49,6 +49,17 @@ class DistributedRunResult:
     rank_stats: list[RunStats]
     rank_traces: list[CommTrace]
     problem: NullspaceProblem
+    #: first unprocessed row; ``problem.q`` for a full run (early-stopped
+    #: runs hold an intermediate matrix, not EFMs).
+    stopped_at: int = -1
+
+    def __post_init__(self) -> None:
+        if self.stopped_at < 0:
+            self.stopped_at = self.problem.q
+
+    @property
+    def complete(self) -> bool:
+        return self.stopped_at >= self.problem.q
 
     @property
     def n_efms(self) -> int:
@@ -61,6 +72,19 @@ class DistributedRunResult:
         return out
 
     def efms_input_order(self) -> np.ndarray:
+        """The union of all ranks' modes in input reaction order.
+
+        Raises :class:`~repro.errors.AlgorithmError` for early-stopped
+        runs — intermediate modes are not EFMs (mirrors
+        :meth:`repro.core.serial.NullspaceResult.efms_input_order`).
+        """
+        if not self.complete:
+            raise AlgorithmError(
+                f"run stopped early at row {self.stopped_at} of "
+                f"{self.problem.q}; the distributed mode shards are an "
+                "intermediate nullspace state, not an EFM set — read "
+                ".rank_modes for intermediate access"
+            )
         return np.ascontiguousarray(
             self.all_modes().values[:, self.problem.inverse_perm()]
         )
@@ -78,8 +102,11 @@ def distributed_worker(
     options: AlgorithmOptions = DEFAULT_OPTIONS,
     *,
     stop_row: int | None = None,
+    context: RunContext | None = None,
 ) -> tuple[ModeMatrix, RunStats]:
     """SPMD body of the column-partitioned algorithm."""
+    ctx = RunContext.ensure(context, options=options)
+    options = ctx.options
     t_start = time.perf_counter()
     if options.arithmetic == "exact":
         raise AlgorithmError("distributed variant supports float arithmetic only")
@@ -88,14 +115,10 @@ def distributed_worker(
     local = kernel_modes.select(np.arange(comm.rank, kernel_modes.n_modes, comm.size))
     stats = RunStats()
     stop = problem.q if stop_row is None else stop_row
-    rank_cache = make_rank_binding(problem, options)
+    rank_cache = ctx.rank_binding_for(problem)
 
     for k in range(problem.first_row, stop):
-        it = IterationStats(
-            position=k,
-            reaction=problem.names[k],
-            reversible=bool(problem.reversible[k]),
-        )
+        it = ctx.new_iteration(problem, k)
         signs = local.sign_column(k)
         my_pos = local.select(np.nonzero(signs > 0)[0])
         my_neg = local.select(np.nonzero(signs < 0)[0])
@@ -184,6 +207,7 @@ def distributed_worker(
     if isinstance(comm, TracingCommunicator):
         stats.bytes_sent = comm.trace.bytes_sent
         stats.messages_sent = comm.trace.n_messages
+    ctx.collect(stats)
     return local, stats
 
 
@@ -219,18 +243,21 @@ def distributed_parallel(
     options: AlgorithmOptions = DEFAULT_OPTIONS,
     backend: BackendName = "sequential",
     stop_row: int | None = None,
+    context: RunContext | None = None,
 ) -> DistributedRunResult:
     """Run the column-partitioned algorithm on ``n_ranks`` ranks."""
+    ctx = RunContext.ensure(context, options=options)
     outs = run_spmd(
         _traced_worker,
         n_ranks,
         backend=backend,
-        args=(problem, options),
-        kwargs={"stop_row": stop_row},
+        args=(problem, ctx.options),
+        kwargs={"stop_row": stop_row, "context": ctx},
     )
     return DistributedRunResult(
         rank_modes=[o[0] for o in outs],
         rank_stats=[o[1] for o in outs],
         rank_traces=[o[2] for o in outs],
         problem=problem,
+        stopped_at=problem.q if stop_row is None else stop_row,
     )

@@ -59,6 +59,15 @@ class TestStopRow:
         with pytest.raises(AlgorithmError):
             res.efms_input_order()
 
+    def test_stop_early_error_names_position(self, toy_problem):
+        """The early-stop guard must say where the run stopped and how to
+        get at the intermediate matrix, not just refuse."""
+        res = nullspace_algorithm(toy_problem, stop_row=toy_problem.q - 1)
+        with pytest.raises(AlgorithmError, match=r"stopped early at row"):
+            res.efms_input_order()
+        with pytest.raises(AlgorithmError, match=r"\.modes"):
+            _ = res.n_efms
+
     def test_stop_row_bounds_checked(self, toy_problem):
         with pytest.raises(AlgorithmError):
             nullspace_algorithm(toy_problem, stop_row=toy_problem.q + 1)

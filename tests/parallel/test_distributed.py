@@ -81,3 +81,17 @@ class TestRestrictions:
         a = np.sort(np.round(serial.modes.values, 9), axis=0)
         b = np.sort(np.round(got.values, 9), axis=0)
         assert np.allclose(a, b)
+
+    def test_stop_early_marks_incomplete(self, toy_problem):
+        run = distributed_parallel(toy_problem, 2, stop_row=toy_problem.q - 1)
+        assert not run.complete
+        assert run.stopped_at == toy_problem.q - 1
+        with pytest.raises(AlgorithmError, match="stopped early at row"):
+            run.efms_input_order()
+        # The intermediate shards stay readable through .rank_modes/.all_modes.
+        assert run.all_modes().n_modes > 0
+
+    def test_full_run_is_complete(self, toy_problem):
+        run = distributed_parallel(toy_problem, 2)
+        assert run.complete
+        assert run.stopped_at == toy_problem.q
