@@ -32,6 +32,7 @@ ITERATION_COLUMNS = (
     "n_rank_cache_hits",
     "n_rank_batches",
     "rank_batch_max",
+    "candidate_bytes",
     "n_neg_removed",
     "n_modes_end",
     "t_gen_cand",

@@ -85,11 +85,27 @@ def estimate_mode_bytes(n_modes: int, q: int) -> int:
     return n_modes * (8 * q + 8 * words)
 
 
+def candidate_row_bytes(q: int, pipeline: str = "deferred") -> int:
+    """Retained bytes per candidate between generation and acceptance.
+
+    The eager pipeline holds a dense normalized float row plus its packed
+    support; the deferred (support-first) pipeline holds only the packed
+    support words plus two int64 pair indices (the combination
+    coefficients are derived at materialization, not stored) — for
+    realistic ``q`` well over an order of magnitude less.
+    """
+    words = max(1, (q + 63) // 64)
+    if pipeline == "deferred":
+        return 8 * words + 16
+    return 8 * q + 8 * words
+
+
 def predict_subset_peak_bytes(
     reduced: "MetabolicNetwork",
     spec: "SubsetSpec",
     *,
     working_factor: float = 1.5,
+    candidate_pipeline: str = "deferred",
 ) -> int:
     """A-priori peak-footprint prediction for one divide-and-conquer
     subproblem, before its kernel is built.
@@ -104,6 +120,12 @@ def predict_subset_peak_bytes(
     *relative magnitude*: largest-predicted-first dispatch (LPT
     makespan heuristic) and the admission budget that bounds how much
     predicted peak may be in flight concurrently.
+
+    ``candidate_pipeline`` selects the per-candidate charge for the
+    iteration's retained candidate set (:func:`candidate_row_bytes`):
+    the eager pipeline holds dense candidate rows between generation and
+    acceptance, the deferred default holds packed supports + pair
+    metadata only, so its predicted peak is correspondingly lower.
 
     Returns 0 for structurally empty subproblems (no flux possible).
     """
@@ -123,4 +145,10 @@ def predict_subset_peak_bytes(
         return 0
     rows_to_process = max(0, rank - len(spec.nonzero))
     peak_modes = nullity * (1 + rows_to_process)
-    return int(working_factor * estimate_mode_bytes(peak_modes, q_work))
+    # Candidate surrogate: the retained candidate set at the peak iteration
+    # is on the order of the mode count itself (most pairs die in the
+    # union-support prefilter), charged at the pipeline's per-row cost.
+    cand_bytes = peak_modes * candidate_row_bytes(q_work, candidate_pipeline)
+    return int(
+        working_factor * estimate_mode_bytes(peak_modes, q_work) + cand_bytes
+    )

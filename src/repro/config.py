@@ -10,6 +10,7 @@ the core algorithm (ordering heuristic, acceptance test, chunk sizes, ...).
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Literal
 
 #: Default relative threshold below which a flux value is treated as zero.
@@ -27,6 +28,14 @@ Arithmetic = Literal["float", "exact"]
 AcceptanceTest = Literal["rank", "bittree", "both"]
 OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
 RankBackend = Literal["batched", "loop"]
+CandidatePipeline = Literal["deferred", "eager"]
+
+
+def _default_candidate_pipeline() -> str:
+    """Session-wide pipeline default, overridable via the environment so a
+    whole test run can be flipped to the eager parity reference (the CI
+    ``candidate-pipeline`` matrix leg sets ``REPRO_CANDIDATE_PIPELINE=eager``)."""
+    return os.environ.get("REPRO_CANDIDATE_PIPELINE", "deferred")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,6 +89,16 @@ class AlgorithmOptions:
         iterations and divide-and-conquer subproblems; ``"loop"`` is the
         reference one-SVD-per-candidate path (parity testing, benchmark
         baseline).  Both produce identical acceptance decisions.
+    candidate_pipeline:
+        How candidate modes travel between generation and acceptance.
+        ``"deferred"`` (default) is the support-first pipeline: generation
+        keeps only packed support words plus ``(i, j)`` pair indices and
+        the two combination coefficients; dedup and the rank test run on
+        that representation and dense normalized values are materialized
+        once, for accepted candidates only.  ``"eager"`` materializes every
+        prefilter survivor as a dense normalized row up front (the parity
+        reference).  Both produce bit-identical EFM sets; exact-arithmetic
+        runs always use the eager path.
     ordering:
         Row-processing order heuristic.  ``"paper"`` = fewest non-zeros
         first with reversible rows pushed last (§II.C); ``"natural"`` keeps
@@ -97,6 +116,9 @@ class AlgorithmOptions:
     arithmetic: Arithmetic = "float"
     acceptance: AcceptanceTest = "rank"
     rank_backend: RankBackend = "batched"
+    candidate_pipeline: CandidatePipeline = dataclasses.field(
+        default_factory=_default_candidate_pipeline
+    )
     ordering: OrderingName = "paper"
     pair_chunk: int = DEFAULT_PAIR_CHUNK
     ordering_seed: int = 0
@@ -110,6 +132,10 @@ class AlgorithmOptions:
             raise ValueError(f"unknown acceptance test {self.acceptance!r}")
         if self.rank_backend not in ("batched", "loop"):
             raise ValueError(f"unknown rank backend {self.rank_backend!r}")
+        if self.candidate_pipeline not in ("deferred", "eager"):
+            raise ValueError(
+                f"unknown candidate pipeline {self.candidate_pipeline!r}"
+            )
         if self.ordering not in ("paper", "natural", "most-nonzeros", "random"):
             raise ValueError(f"unknown ordering {self.ordering!r}")
         if self.pair_chunk < 1:

@@ -11,6 +11,23 @@ stays inside the flux cone).  Generation is vectorized in chunks of
 ("summary rejection": a support larger than ``rank+1`` cannot have nullity
 1) drops most pairs before any float work happens.
 
+Two pipelines carry the survivors onward (``options.candidate_pipeline``):
+
+``"deferred"`` (default, the support-first pipeline)
+    Chunk values are computed transiently, canonical supports are
+    extracted (:func:`repro.core.state.canonical_support_mask` — the exact
+    mask the eager constructor would produce), and the dense values are
+    discarded: only a :class:`~repro.core.state.CandidateBatch` of packed
+    support words, ``(i, j)`` pair indices and the two combination
+    coefficients survives.  Dedup and the rank test consume supports only,
+    so dense normalized rows are materialized once — for *accepted*
+    candidates — by recomputing ``a*mode[i] + b*mode[j]``.
+
+``"eager"``
+    Every prefilter survivor is materialized as a dense normalized
+    :class:`~repro.core.state.ModeMatrix` row up front (the parity
+    reference; also the only pipeline for exact arithmetic).
+
 The pair index space ``[0, n_pos*n_neg)`` is linearized as
 ``p = i * n_neg + j``; the combinatorial parallel algorithm hands each rank
 a strided or blocked subrange of the same space, so the serial path here is
@@ -24,9 +41,10 @@ import dataclasses
 import numpy as np
 
 from repro.config import AlgorithmOptions
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix, canonical_support_mask
 from repro.core.stats import IterationStats
 from repro.linalg import bitset
+from repro.linalg.bitset import PackedSupports, pack_supports
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,14 +95,15 @@ def generate_candidates(
     options: AlgorithmOptions,
     stats: IterationStats,
     adjacency=None,
-) -> ModeMatrix:
+) -> ModeMatrix | CandidateBatch:
     """Generate this worker's candidates for iteration row ``k``.
 
-    Returns a :class:`ModeMatrix` of candidates that survived the
-    union-support prefilter (and, when ``adjacency`` is given, the
-    combinatorial pair-adjacency test — see
-    :class:`repro.core.bittree.AdjacencyTest`; it must run per-pair, before
-    any dedup).  ``rank_bound`` is the rank of the stoichiometry: a
+    Returns the candidates that survived the union-support prefilter (and,
+    when ``adjacency`` is given, the combinatorial pair-adjacency test —
+    see :class:`repro.core.bittree.AdjacencyTest`; it must run per-pair,
+    before any dedup): a dense :class:`ModeMatrix` on the eager pipeline, a
+    support-only :class:`CandidateBatch` on the deferred one (see the
+    module docstring).  ``rank_bound`` is the rank of the stoichiometry: a
     candidate whose support exceeds ``rank_bound + 1`` entries is summarily
     rejected (the prefilter tests the pair's support *union*, which
     overcounts the true support by at least the annihilated row ``k``,
@@ -94,8 +113,12 @@ def generate_candidates(
     vals = modes.values
     sup = modes.supports.words
     col = vals[:, k]
+    deferred = options.candidate_pipeline == "deferred" and not modes.exact
 
     kept_chunks: list[np.ndarray] = []
+    word_chunks: list[np.ndarray] = []
+    i_chunks: list[np.ndarray] = []
+    j_chunks: list[np.ndarray] = []
     n_prefilter_kept = 0
     n_adjacent = 0
     max_union = rank_bound + 2
@@ -120,14 +143,43 @@ def generate_candidates(
         a = -col[j_ok]  # > 0
         b = col[i_ok]  # > 0
         cand = vals[i_ok] * a[:, None] + vals[j_ok] * b[:, None]
-        kept_chunks.append(cand)
+        if deferred:
+            # Support-first: extract canonical supports from the transient
+            # chunk values, then let the dense rows — and the coefficients,
+            # which (i, j, k) fully determine — die with the chunk.
+            mask = canonical_support_mask(cand, modes.policy)
+            word_chunks.append(pack_supports(mask.T))
+            i_chunks.append(i_ok)
+            j_chunks.append(j_ok)
+        else:
+            kept_chunks.append(cand)
 
     stats.n_prefilter_kept += n_prefilter_kept
     stats.n_adjacent += n_adjacent
+    if deferred:
+        if not word_chunks:
+            return CandidateBatch.empty(modes.q, k, policy=modes.policy)
+        if len(word_chunks) == 1:
+            parts = (word_chunks[0], i_chunks[0], j_chunks[0])
+        else:
+            parts = (
+                np.concatenate(word_chunks, axis=0),
+                np.concatenate(i_chunks),
+                np.concatenate(j_chunks),
+            )
+        # Arrays are freshly built with the right dtypes; skip the public
+        # constructor's coercion pass (hot: once per iteration per rank).
+        batch = CandidateBatch._from_parts(
+            PackedSupports(parts[0], modes.q), parts[1], parts[2], k, modes.policy
+        )
+        stats.candidate_bytes = max(stats.candidate_bytes, batch.nbytes())
+        return batch
     if not kept_chunks:
         return ModeMatrix.empty(modes.q, exact=modes.exact, policy=modes.policy)
     raw = np.concatenate(kept_chunks, axis=0)
-    return ModeMatrix(raw, policy=modes.policy)
+    out = ModeMatrix(raw, policy=modes.policy)
+    stats.candidate_bytes = max(stats.candidate_bytes, out.nbytes())
+    return out
 
 
 def _iter_pair_chunks(pair_range: PairRange, chunk: int):

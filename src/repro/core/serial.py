@@ -32,7 +32,7 @@ from repro.core import bittree
 from repro.core.candidates import PairRange, full_range, generate_candidates
 from repro.core.kernel import NullspaceProblem
 from repro.core.ranktest import rank_test
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix
 from repro.core.stats import IterationStats, PhaseTimer, RunStats
 from repro.core.trace import IterationTrace
 from repro.engine.context import RunContext
@@ -139,7 +139,8 @@ def iterate_row(
     pair_range_for: Callable[[int], PairRange] = full_range,
     n_exact: rational.FractionMatrix | None = None,
     rank_cache: CacheBinding | None = None,
-) -> tuple[ModeMatrix, ModeMatrix]:
+    materialize: bool = True,
+) -> tuple[ModeMatrix, ModeMatrix | CandidateBatch]:
     """One iteration body shared by serial and parallel drivers.
 
     Returns ``(kept, accepted_candidates)``: the old modes surviving the
@@ -148,6 +149,13 @@ def iterate_row(
     concatenates (serial) or communicates/merges first (parallel).
     ``rank_cache`` optionally shares a support-pattern rank memo across
     iterations (and, for divide-and-conquer drivers, across subproblems).
+
+    On the deferred pipeline the candidates travel through dedup and the
+    rank test as a support-only :class:`~repro.core.state.CandidateBatch`;
+    with ``materialize=True`` (the serial default) the accepted survivors
+    come back as a dense :class:`ModeMatrix`, while ``materialize=False``
+    hands the batch to the caller so a parallel driver can communicate the
+    packed representation and materialize after the global merge.
     """
     signs = modes.sign_column(k)
     pos_idx = np.nonzero(signs > 0)[0]
@@ -209,6 +217,11 @@ def iterate_row(
                 )
             cand = cand.select(accept)
         stats.n_accepted = cand.n_modes
+        if materialize and isinstance(cand, CandidateBatch):
+            # Deferred pipeline: dense normalized values exist only from
+            # here on, and only for the accepted survivors.
+            with PhaseTimer(stats, "t_merge"):
+                cand = cand.materialize(modes.values)
 
     if reversible:
         kept = modes

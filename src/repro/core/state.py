@@ -21,7 +21,51 @@ from repro.config import DEFAULT_POLICY, NumericPolicy
 from repro.errors import AlgorithmError
 from repro.linalg import bitset
 from repro.linalg.bitset import PackedSupports
-from repro.linalg.numeric import column_normalize
+
+
+def canonicalize_rows(values: np.ndarray, policy: NumericPolicy) -> np.ndarray:
+    """Normalize float mode rows to unit max-norm and snap sub-threshold
+    entries to exact ``0.0`` (fresh C-contiguous array).
+
+    This is *the* definition of a canonical mode row, shared by the
+    :class:`ModeMatrix` constructor and the deferred candidate pipeline.
+    Every operation is row-wise, so canonicalizing a matrix chunk by chunk
+    yields bit-identical rows to one whole-matrix call — the eager/deferred
+    equivalence contract rests on that.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if values.size == 0:
+        return values.copy()
+    # Row-wise unit max-norm.  The snap decision is made on the *raw*
+    # magnitudes against a per-row threshold (|v| <= zero_tol * rowmax),
+    # which keeps it division-free — canonical_support_mask reads the same
+    # decision off the same comparison without ever normalizing.
+    mag = np.abs(values)
+    scale = mag.max(axis=1)
+    scale[scale == 0.0] = 1.0
+    out = values / scale[:, None]
+    out[mag <= (scale * policy.zero_tol)[:, None]] = 0.0
+    return out
+
+
+def canonical_support_mask(values: np.ndarray, policy: NumericPolicy) -> np.ndarray:
+    """Boolean support mask of float rows after canonicalization, without
+    retaining the normalized matrix — shape ``(n_modes, q)``.
+
+    Produces exactly the mask :func:`canonicalize_rows` implies: the snap
+    decision there is ``|v| <= zero_tol * rowmax`` on the raw magnitudes,
+    and a surviving entry cannot normalize to ``0.0`` (``|v| / rowmax``
+    stays far above the underflow range), so the complement of the snap
+    comparison *is* the support — no division needed.  All-zero rows keep
+    scale 1 and stay all-False.
+    """
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    if v.size == 0:
+        return np.zeros(v.shape, dtype=bool)
+    mag = np.abs(v)
+    scale = mag.max(axis=1)
+    scale[scale == 0.0] = 1.0
+    return mag > (scale * policy.zero_tol)[:, None]
 
 
 class ModeMatrix:
@@ -56,13 +100,7 @@ class ModeMatrix:
             if values.dtype == object:
                 values = _integerize_rows(values)
             else:
-                values = np.ascontiguousarray(values, dtype=np.float64)
-                # Normalize per mode (rows) -> transpose view for the
-                # column-normalizing helper.
-                values = column_normalize(values.T).T.copy()
-                colmax = np.abs(values).max(axis=1) if values.size else np.zeros(0)
-                thresh = policy.zero_tol * np.maximum(colmax, 1.0)
-                values[np.abs(values) <= thresh[:, None]] = 0.0
+                values = canonicalize_rows(values, policy)
         self.values = values
         self.policy = policy
         self._signs = None
@@ -93,6 +131,32 @@ class ModeMatrix:
         out.policy = policy
         out._signs = None
         return out
+
+    @classmethod
+    def from_pairs(
+        cls,
+        source_values: np.ndarray,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        coef_a: np.ndarray,
+        coef_b: np.ndarray,
+        *,
+        policy: NumericPolicy = DEFAULT_POLICY,
+    ) -> "ModeMatrix":
+        """Materialize candidate rows ``a * source[i] + b * source[j]`` —
+        the deferred pipeline's single materialization point.
+
+        The combination and the constructor's canonicalization are both
+        row-wise, so the result is bit-identical to a matrix built eagerly
+        from the same pairs in any chunking or order.
+        """
+        if pair_i.size == 0:
+            return cls.empty(source_values.shape[1], policy=policy)
+        vals = (
+            source_values[pair_i] * coef_a[:, None]
+            + source_values[pair_j] * coef_b[:, None]
+        )
+        return cls(vals, policy=policy)
 
     @classmethod
     def empty(cls, q: int, *, exact: bool = False,
@@ -135,11 +199,13 @@ class ModeMatrix:
 
     def nbytes(self) -> int:
         """Replicated storage footprint of this mode set (values +
-        supports) — what the paper's memory bottleneck is made of."""
+        supports + the cached sign matrix once primed) — what the paper's
+        memory bottleneck is made of."""
+        signs = 0 if self._signs is None else int(self._signs.nbytes)
         if self.exact:
             # Fractions are heap objects; approximate with 32 bytes/entry.
-            return self.values.size * 32 + self.supports.nbytes()
-        return int(self.values.nbytes) + self.supports.nbytes()
+            return self.values.size * 32 + self.supports.nbytes() + signs
+        return int(self.values.nbytes) + self.supports.nbytes() + signs
 
     # -- row access -----------------------------------------------------------
 
@@ -215,6 +281,199 @@ class ModeMatrix:
     def __repr__(self) -> str:
         kind = "exact" if self.exact else "float"
         return f"<ModeMatrix {self.n_modes} modes x {self.q} reactions ({kind})>"
+
+
+class CandidateBatch:
+    """Deferred candidate modes: packed supports plus pair provenance.
+
+    The support-first pipeline's intermediate representation.  Where the
+    eager pipeline materializes every prefilter survivor as a dense
+    normalized float64 row, this container carries only what dedup and the
+    rank test actually consume — the canonical packed support words — plus
+    the ``(i, j)`` source-mode indices and the iteration row ``row`` they
+    were paired on.  That triple fully determines the dense row
+    ``(-src[j, row]) * src[i] + src[i, row] * src[j]``, so not even the
+    combination coefficients are stored: they are recomputed from the
+    source matrix at the single materialization point
+    (:meth:`materialize`), for accepted candidates only.
+
+    Pair indices address rows of the *source* mode matrix the batch was
+    generated from (the iteration's replicated mode set), so a batch is
+    meaningful on any rank holding that replica — which is what lets the
+    combinatorial allgather ship batches instead of dense rows.
+
+    Float arithmetic only; exact-mode runs use the eager pipeline.
+    """
+
+    __slots__ = ("supports", "pair_i", "pair_j", "row", "policy")
+
+    def __init__(
+        self,
+        supports: PackedSupports,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        row: int,
+        *,
+        policy: NumericPolicy = DEFAULT_POLICY,
+    ) -> None:
+        n = len(supports)
+        self.pair_i = np.ascontiguousarray(pair_i, dtype=np.int64)
+        self.pair_j = np.ascontiguousarray(pair_j, dtype=np.int64)
+        for arr in (self.pair_i, self.pair_j):
+            if arr.shape != (n,):
+                raise AlgorithmError("CandidateBatch supports/pairs length mismatch")
+        self.supports = supports
+        self.row = int(row)
+        self.policy = policy
+
+    @classmethod
+    def empty(
+        cls, q: int, row: int = 0, policy: NumericPolicy = DEFAULT_POLICY
+    ) -> "CandidateBatch":
+        z = np.zeros(0, dtype=np.int64)
+        return cls(PackedSupports.empty(q), z, z, row, policy=policy)
+
+    @classmethod
+    def _from_parts(
+        cls,
+        supports: PackedSupports,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        row: int,
+        policy: NumericPolicy,
+    ) -> "CandidateBatch":
+        """Internal fast path: parts already coerced and length-checked
+        (select / concat / dedup slicing — hot in the iteration loop)."""
+        out = cls.__new__(cls)
+        out.supports = supports
+        out.pair_i = pair_i
+        out.pair_j = pair_j
+        out.row = row
+        out.policy = policy
+        return out
+
+    # -- ModeMatrix-compatible protocol (dedup / rank test surface) ----------
+
+    @property
+    def n_modes(self) -> int:
+        return len(self.supports)
+
+    @property
+    def q(self) -> int:
+        return self.supports.n_rows
+
+    @property
+    def exact(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return self.n_modes
+
+    def nbytes(self) -> int:
+        """Retained footprint: support words + pair indices (no dense
+        values and no coefficients, by construction)."""
+        return (
+            self.supports.nbytes()
+            + int(self.pair_i.nbytes)
+            + int(self.pair_j.nbytes)
+        )
+
+    def select(self, idx: np.ndarray | Sequence[int]) -> "CandidateBatch":
+        idx = np.asarray(idx)
+        return CandidateBatch._from_parts(
+            self.supports[idx],
+            self.pair_i[idx],
+            self.pair_j[idx],
+            self.row,
+            self.policy,
+        )
+
+    def concat(self, other: "CandidateBatch") -> "CandidateBatch":
+        if other.q != self.q:
+            raise AlgorithmError("concat of CandidateBatch with mismatched q")
+        if other.row != self.row and other.n_modes and self.n_modes:
+            raise AlgorithmError("concat of CandidateBatch from different rows")
+        return CandidateBatch._from_parts(
+            self.supports.concat(other.supports),
+            np.concatenate([self.pair_i, other.pair_i]),
+            np.concatenate([self.pair_j, other.pair_j]),
+            self.row if self.n_modes else other.row,
+            self.policy,
+        )
+
+    def dedup(self) -> "CandidateBatch":
+        """First-occurrence support dedup — same canonical order as
+        :meth:`ModeMatrix.dedup`, so eager and deferred runs keep identical
+        survivors."""
+        _, first = bitset.unique_rows(self.supports.words)
+        if len(first) == self.n_modes:
+            return self
+        return self.select(first)
+
+    # -- materialization and wire format -------------------------------------
+
+    def materialize(self, source_values: np.ndarray) -> ModeMatrix:
+        """Dense normalized rows for every candidate in the batch, rebuilt
+        from the source mode values the pair indices address.
+
+        The combination coefficients are recomputed here from the source
+        matrix's ``row`` column exactly as generation formed them
+        (``a = -col[j] > 0``, ``b = col[i] > 0``), and the batch's supports
+        *are* the canonical supports of the rebuilt rows (extracted from
+        the identical transient values at generation), so they are
+        reattached directly instead of re-derived."""
+        if self.n_modes == 0:
+            return ModeMatrix.empty(self.q, policy=self.policy)
+        col = source_values[:, self.row]
+        # In-place on the two fancy-index copies.  ``b*y - c*x`` rounds
+        # bit-identically to the eager chunk combination's
+        # ``(-c)*x + b*y``: IEEE negation is exact and addition commutes,
+        # so the subtraction spells the same multiply/multiply/add.
+        sub = source_values[self.pair_i]
+        sub *= col[self.pair_j][:, None]
+        vals = source_values[self.pair_j]
+        vals *= col[self.pair_i][:, None]
+        vals -= sub
+        return ModeMatrix.from_parts(
+            canonicalize_rows(vals, self.policy), self.supports, self.policy
+        )
+
+    def to_wire(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Allgather payload: packed support words plus int32 pair indices.
+
+        The iteration row is implicit (all ranks are on the same row of the
+        same replicated matrix), and mode counts are far below 2**31 (a
+        single replica would exceed any node memory first), so int32
+        indices are safe.  Per candidate this is ``8 * words + 8`` bytes
+        against the eager pipeline's ``8 * q + 8 * words``."""
+        return (
+            self.supports.words,
+            self.pair_i.astype(np.int32),
+            self.pair_j.astype(np.int32),
+        )
+
+    @classmethod
+    def from_wire(
+        cls,
+        parts,
+        q: int,
+        row: int,
+        policy: NumericPolicy = DEFAULT_POLICY,
+    ) -> "CandidateBatch":
+        """Rebuild a batch from :meth:`to_wire` parts.
+
+        ``row`` is the iteration row the sender was processing — the
+        receiver supplies it from its own loop counter (lockstep SPMD).
+        Materialization recomputes the combination coefficients from the
+        receiver's replica, which is bit-identical to the sender's."""
+        words, pair_i, pair_j = parts
+        # int32 indices index numpy arrays directly; no widening needed.
+        return cls._from_parts(
+            PackedSupports(words, q), pair_i, pair_j, row, policy
+        )
+
+    def __repr__(self) -> str:
+        return f"<CandidateBatch {self.n_modes} candidates x {self.q} reactions>"
 
 
 def _integerize_rows(values: np.ndarray) -> np.ndarray:

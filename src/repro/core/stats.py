@@ -41,6 +41,11 @@ class IterationStats:
     n_rank_batches: int = 0
     #: largest single batch handed to the batched decomposition.
     rank_batch_max: int = 0
+    #: retained candidate-set footprint after generation (bytes): dense
+    #: values + supports on the eager pipeline, packed supports + pair
+    #: indices on the deferred one.  Transient per-chunk buffers are
+    #: bounded separately by ``options.pair_chunk``.
+    candidate_bytes: int = 0
     #: old negative-entry columns dropped (irreversible rows only).
     n_neg_removed: int = 0
     #: mode count after the iteration.
@@ -104,6 +109,12 @@ class RunStats:
         return sum(it.t_communicate for it in self.iterations)
 
     @property
+    def peak_candidate_bytes(self) -> int:
+        """Largest per-iteration retained candidate-set footprint — the
+        quantity the support-first pipeline exists to shrink."""
+        return max((it.candidate_bytes for it in self.iterations), default=0)
+
+    @property
     def n_efms(self) -> int:
         return self.iterations[-1].n_modes_end if self.iterations else 0
 
@@ -147,6 +158,7 @@ class RunStats:
                     n_rank_cache_hits=a.n_rank_cache_hits + b.n_rank_cache_hits,
                     n_rank_batches=a.n_rank_batches + b.n_rank_batches,
                     rank_batch_max=max(a.rank_batch_max, b.rank_batch_max),
+                    candidate_bytes=max(a.candidate_bytes, b.candidate_bytes),
                     n_neg_removed=a.n_neg_removed,
                     n_modes_end=max(a.n_modes_end, b.n_modes_end),
                     t_gen_cand=max(a.t_gen_cand, b.t_gen_cand),

@@ -67,6 +67,9 @@ class SubsetResult:
     efms: np.ndarray
     stats: RunStats | None
     rank_traces: list[CommTrace]
+    #: per-rank statistics from the Algorithm 2 run (``stats`` is the
+    #: bulk-synchronous max-merge of these); empty on serial/degraded paths.
+    rank_stats: list[RunStats] = dataclasses.field(default_factory=list)
     #: memory failure, if the subproblem exceeded the modeled capacity.
     oom: OutOfMemoryError | None = None
     wall_time: float = 0.0
@@ -389,6 +392,7 @@ def solve_subset(
         efms=efms,
         stats=run.stats,
         rank_traces=run.rank_traces,
+        rank_stats=run.rank_stats,
         wall_time=time.perf_counter() - t0,
     )
 

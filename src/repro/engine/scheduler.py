@@ -161,7 +161,10 @@ class SubproblemScheduler:
                 index=i,
                 spec=spec,
                 predicted_peak_bytes=predict_subset_peak_bytes(
-                    self.reduced, spec, working_factor=wf
+                    self.reduced,
+                    spec,
+                    working_factor=wf,
+                    candidate_pipeline=self.context.options.candidate_pipeline,
                 ),
             )
             for i, spec in enumerate(self.specs)

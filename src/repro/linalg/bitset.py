@@ -58,6 +58,16 @@ class PackedSupports:
         """Pack a boolean ``(n_rows, n_modes)`` column-support mask."""
         return cls(pack_supports(mask), mask.shape[0])
 
+    @classmethod
+    def _wrap(cls, words: np.ndarray, n_rows: int) -> "PackedSupports":
+        """Internal fast path: ``words`` is already a contiguous uint64
+        ``(n_modes, n_words)`` array of the right width (hot per-iteration
+        construction sites — slicing, merge assembly)."""
+        out = cls.__new__(cls)
+        out.words = words
+        out.n_rows = n_rows
+        return out
+
     # -- basic protocol ----------------------------------------------------
 
     def __len__(self) -> int:
@@ -67,7 +77,7 @@ class PackedSupports:
         sel = self.words[idx]
         if sel.ndim == 1:
             sel = sel[None, :]
-        return PackedSupports(sel, self.n_rows)
+        return PackedSupports._wrap(np.ascontiguousarray(sel), self.n_rows)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PackedSupports):
@@ -103,7 +113,9 @@ class PackedSupports:
     def concat(self, other: "PackedSupports") -> "PackedSupports":
         if other.n_rows != self.n_rows:
             raise LinAlgError("concat of PackedSupports with mismatched n_rows")
-        return PackedSupports(np.concatenate([self.words, other.words]), self.n_rows)
+        return PackedSupports._wrap(
+            np.concatenate([self.words, other.words]), self.n_rows
+        )
 
 
 def pack_supports(mask: np.ndarray) -> np.ndarray:
@@ -205,8 +217,13 @@ def unique_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """
     if words.shape[0] == 0:
         return words.copy(), np.zeros(0, dtype=np.intp)
-    view = words.view([("", WORD)] * words.shape[1]).ravel()
-    _, first_idx = np.unique(view, return_index=True)
+    if words.shape[1] == 1:
+        # Networks up to 64 reactions pack into one word — skip the
+        # structured-view machinery (this runs once per iteration per rank).
+        _, first_idx = np.unique(words[:, 0], return_index=True)
+    else:
+        view = words.view([("", WORD)] * words.shape[1]).ravel()
+        _, first_idx = np.unique(view, return_index=True)
     first_idx.sort()  # preserve first-occurrence order for determinism
     return words[first_idx], first_idx
 
@@ -230,6 +247,12 @@ def rows_in(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.zeros(0, dtype=bool)
     if b.shape[0] == 0:
         return np.zeros(a.shape[0], dtype=bool)
+    if a.shape[0] * b.shape[0] <= 1 << 14:
+        # Broadcast compare: one (n_a, n_b, n_words) pass beats np.isin's
+        # sort machinery by an order of magnitude at per-iteration sizes.
+        return (a[:, None, :] == b[None, :, :]).all(axis=2).any(axis=1)
+    if a.shape[1] == 1:
+        return np.isin(a[:, 0], b[:, 0])
     dt = [("", WORD)] * a.shape[1]
     av = np.ascontiguousarray(a).view(dt).ravel()
     bv = np.ascontiguousarray(b).view(dt).ravel()

@@ -90,9 +90,13 @@ def payload_nbytes(obj: Any) -> int:
     """Estimate the wire size of a message payload.
 
     Arrays and objects exposing ``nbytes`` are measured directly (what an
-    MPI buffer send would move); everything else is measured by pickling —
-    exactly what the in-process backends (and mpi4py's lower-case API)
-    would serialize.
+    MPI buffer send would move); lists and tuples are summed recursively,
+    element by element, so the structured wire payloads of the parallel
+    drivers — e.g. the deferred pipeline's ``(words, pair_i, pair_j)``
+    allgather tuple — are measured by their array contents rather than a
+    whole-container pickle.  Everything else is
+    measured by pickling — exactly what the in-process backends (and
+    mpi4py's lower-case API) would serialize.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
@@ -101,8 +105,8 @@ def payload_nbytes(obj: Any) -> int:
         return int(nb())
     if isinstance(nb, (int, np.integer)):
         return int(nb)
-    if isinstance(obj, (list, tuple)) and all(isinstance(x, np.ndarray) for x in obj):
-        return int(sum(x.nbytes for x in obj))
+    if isinstance(obj, (list, tuple)):
+        return int(sum(payload_nbytes(x) for x in obj))
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads are caller bugs

@@ -40,6 +40,12 @@ class CommTrace:
         return sum(e.bytes_in for e in self.events)
 
     @property
+    def allgather_bytes(self) -> int:
+        """Bytes this rank pushed into allgather collectives — the hot
+        Communicate&Merge traffic the packed-support wire format shrinks."""
+        return sum(e.bytes_out for e in self.events if e.kind == "allgather")
+
+    @property
     def n_messages(self) -> int:
         """Point-to-point message count, counting an allgather among P
         ranks as P-1 sends (mesh implementation)."""

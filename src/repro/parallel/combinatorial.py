@@ -6,7 +6,11 @@ partitioned across ranks (ParallelGenerateEFMCands), each rank locally
 deduplicates (Sort&RemoveDuplicates) and rank-tests its share, then an
 allgather exchanges the accepted candidates (Communicate&Merge) and every
 rank appends the identical merged candidate set, keeping the replicas in
-lockstep.
+lockstep.  On the default deferred candidate pipeline the allgather ships
+packed supports + int32 pair indices instead of dense float rows (~``8*q``
+bytes per candidate cheaper); every rank recomputes the combination
+coefficients from its replica and rebuilds the dense survivors after the
+global dedup.
 
 Determinism: the merged candidate order is canonical (rank-major gather
 order, first-occurrence dedup), so all replicas stay bit-identical and the
@@ -28,7 +32,7 @@ from repro.core.serial import (
     check_acceptance_applicable,
     iterate_row,
 )
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix, canonicalize_rows
 from repro.core.stats import RunStats
 from repro.cluster.memory import MemoryModel
 from repro.engine.context import RunContext
@@ -126,20 +130,78 @@ def combinatorial_worker(
             pair_range_for=lambda n: strategy(n, comm.rank, comm.size),
             n_exact=n_exact,
             rank_cache=rank_cache,
+            materialize=False,
         )
 
         # Communicate&Merge: exchange accepted local candidates; every rank
-        # rebuilds the identical global candidate set.
-        t0 = time.perf_counter()
-        gathered = comm.allgather(_pack_modes(cand_local))
-        it.t_communicate += time.perf_counter() - t0
+        # rebuilds the identical global candidate set.  The deferred
+        # pipeline ships packed supports + int32 pair indices (the indices
+        # address the replicated pre-iteration mode matrix, identical on
+        # every rank, so the combination coefficients are recomputed from
+        # the local replica's row-``k`` column); the eager reference ships
+        # the dense normalized rows.
+        if isinstance(cand_local, CandidateBatch):
+            t0 = time.perf_counter()
+            gathered = comm.allgather(cand_local.to_wire())
+            it.t_communicate += time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        parts = [_unpack_modes(g, problem.q, options.policy) for g in gathered]
-        merged = parts[0]
-        for p in parts[1:]:
-            merged = merged.concat(p)
-        merged = merged.dedup()
+            t0 = time.perf_counter()
+            # Most ranks contribute nothing on a typical iteration (a
+            # handful of acceptances spread over all ranks), so assemble
+            # only the non-empty parts — and when a single rank
+            # contributed, adopt its arrays without any copy.
+            parts = [g for g in gathered if g[0].shape[0]]
+            if parts:
+                if len(parts) == 1:
+                    # A single contributing rank: its batch is already
+                    # locally deduplicated, and unique_rows preserves
+                    # first-occurrence order, so the global dedup below
+                    # would be an exact identity — skip it.
+                    words, pair_i, pair_j = parts[0]
+                else:
+                    # Dedup on the packed words alone, *before* touching
+                    # any dense data — only the surviving pair indices are
+                    # sliced and only the survivors' coefficients
+                    # recomputed.
+                    words = np.concatenate([g[0] for g in parts])
+                    pair_i = np.concatenate([g[1] for g in parts])
+                    pair_j = np.concatenate([g[2] for g in parts])
+                    words, first = bitset.unique_rows(words)
+                    if first.size != pair_i.size:
+                        pair_i = pair_i[first]
+                        pair_j = pair_j[first]
+                # Dense values are materialized here, once, for the
+                # globally accepted survivors only.  Same rank-major
+                # gather order, first-occurrence dedup, and rounding as
+                # the eager path (``b*y - c*x`` is bit-identical to the
+                # generation-side ``(-c)*x + b*y``: IEEE negation is
+                # exact and addition commutes), so the rebuilt rows match
+                # the dense rows it would have gathered (see
+                # CandidateBatch.materialize, which this inlines).
+                col = modes.values[:, k]
+                sub = modes.values[pair_i]
+                sub *= col[pair_j][:, None]
+                vals = modes.values[pair_j]
+                vals *= col[pair_i][:, None]
+                vals -= sub
+                merged = ModeMatrix.from_parts(
+                    canonicalize_rows(vals, options.policy),
+                    PackedSupports._wrap(words, problem.q),
+                    options.policy,
+                )
+            else:
+                merged = ModeMatrix.empty(problem.q, policy=options.policy)
+        else:
+            t0 = time.perf_counter()
+            gathered = comm.allgather(_pack_modes(cand_local))
+            it.t_communicate += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            parts = [_unpack_modes(g, problem.q, options.policy) for g in gathered]
+            merged = parts[0]
+            for p in parts[1:]:
+                merged = merged.concat(p)
+            merged = merged.dedup()
         # Cross-rank duplicates against surviving zero columns were already
         # removed locally (replicated state), but two ranks may accept the
         # same ray from different pairs — the global dedup above covers it.

@@ -29,7 +29,7 @@ from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.core.candidates import generate_candidates, strided_range
 from repro.core.kernel import NullspaceProblem
 from repro.core.ranktest import rank_test
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix
 from repro.core.stats import IterationStats, RunStats
 from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
@@ -188,6 +188,11 @@ def distributed_worker(
                 if drop.any():
                     it.n_duplicates += int(drop.sum())
                     cand = cand.select(~drop)
+                if isinstance(cand, CandidateBatch):
+                    # Deferred pipeline: the global duplicate control above
+                    # ran on supports alone; dense rows are rebuilt here,
+                    # once, for the survivors this rank owns.
+                    cand = cand.materialize(active.values)
 
             if bool(problem.reversible[k]):
                 survivors = local

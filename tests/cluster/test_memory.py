@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.cluster.memory import MemoryModel, estimate_mode_bytes
+from repro.cluster.memory import (
+    MemoryModel,
+    candidate_row_bytes,
+    estimate_mode_bytes,
+    predict_subset_peak_bytes,
+)
 from repro.core.state import ModeMatrix
 from repro.errors import OutOfMemoryError
 
@@ -67,3 +72,34 @@ class TestEstimate:
 
     def test_zero_modes(self):
         assert estimate_mode_bytes(0, 10) == 0
+
+
+class TestCandidateRowBytes:
+    def test_deferred_much_smaller_for_wide_networks(self):
+        q = 64
+        assert candidate_row_bytes(q, "eager") == 8 * 64 + 8
+        assert candidate_row_bytes(q, "deferred") == 8 + 16
+        assert candidate_row_bytes(q, "eager") >= 4 * candidate_row_bytes(q, "deferred")
+
+    def test_word_rounding(self):
+        assert candidate_row_bytes(65, "deferred") == 16 + 16
+        assert candidate_row_bytes(1, "eager") == 8 + 8
+
+
+class TestPipelineAwarePrediction:
+    def test_deferred_prediction_not_larger(self):
+        from repro.dnc.subsets import enumerate_subsets
+        from repro.models.toy import toy_network
+        from repro.network.compression import compress_network
+
+        reduced = compress_network(toy_network()).reduced
+        for spec in enumerate_subsets(("r6r", "r8r")):
+            eager = predict_subset_peak_bytes(
+                reduced, spec, candidate_pipeline="eager"
+            )
+            deferred = predict_subset_peak_bytes(
+                reduced, spec, candidate_pipeline="deferred"
+            )
+            assert 0 <= deferred <= eager
+            # Default matches the default pipeline (deferred).
+            assert predict_subset_peak_bytes(reduced, spec) == deferred

@@ -11,12 +11,18 @@ from repro.core.candidates import (
     generate_candidates,
     strided_range,
 )
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix
 from repro.core.stats import IterationStats
 
 
 def _stats():
     return IterationStats(position=0, reaction="x", reversible=False)
+
+
+EAGER = AlgorithmOptions(candidate_pipeline="eager")
+# Pin explicitly: the default is env-sensitive (REPRO_CANDIDATE_PIPELINE),
+# and the CI candidate-pipeline leg flips it to "eager".
+DEFERRED = AlgorithmOptions(candidate_pipeline="deferred")
 
 
 class TestPairRanges:
@@ -72,13 +78,48 @@ class TestGenerateCandidates:
             np.array([1]),
             full_range(1),
             rank_bound=3,
-            options=AlgorithmOptions(),
+            options=EAGER,
             stats=stats,
         )
         assert cand.n_modes == 1
         assert cand.values[0, 2] == 0.0
         # a = -(-1) = 1, b = 1 -> mode0 + mode1 = (1,1,0,0) normalized
         assert np.allclose(cand.values[0], [1.0, 1.0, 0.0, 0.0])
+
+    def test_deferred_batch_materializes_to_eager_rows(self):
+        modes = self._setup()
+        eager = generate_candidates(
+            modes, 2, np.array([0]), np.array([1]), full_range(1),
+            rank_bound=3, options=EAGER, stats=_stats(),
+        )
+        batch = generate_candidates(
+            modes, 2, np.array([0]), np.array([1]), full_range(1),
+            rank_bound=3, options=DEFERRED, stats=_stats(),
+        )
+        assert isinstance(batch, CandidateBatch)
+        assert batch.n_modes == eager.n_modes == 1
+        # Supports computed from transient values match the eager supports.
+        assert np.array_equal(batch.supports.words, eager.supports.words)
+        dense = batch.materialize(modes.values)
+        assert np.array_equal(dense.values, eager.values)
+        assert np.array_equal(dense.supports.words, eager.supports.words)
+
+    def test_deferred_batch_is_smaller_than_eager(self):
+        rng = np.random.default_rng(3)
+        modes = ModeMatrix(rng.normal(size=(20, 64)))
+        col = modes.column(0)
+        pos = np.nonzero(col > 0)[0]
+        neg = np.nonzero(col < 0)[0]
+        n_pairs = pos.size * neg.size
+        eager = generate_candidates(
+            modes, 0, pos, neg, full_range(n_pairs), 64, EAGER, _stats(),
+        )
+        batch = generate_candidates(
+            modes, 0, pos, neg, full_range(n_pairs), 64,
+            DEFERRED, _stats(),
+        )
+        assert batch.n_modes == eager.n_modes > 0
+        assert batch.nbytes() * 4 <= eager.nbytes()
 
     def test_prefilter_rejects_oversized_union(self):
         modes = ModeMatrix(
@@ -92,7 +133,7 @@ class TestGenerateCandidates:
             np.array([1]),
             full_range(1),
             rank_bound=2,  # union popcount 6 > rank+2=4 -> reject
-            options=AlgorithmOptions(),
+            options=EAGER,
             stats=stats,
         )
         assert cand.n_modes == 0
@@ -110,7 +151,10 @@ class TestGenerateCandidates:
             stats = _stats()
             cand = generate_candidates(
                 modes, 0, pos, neg, full_range(pos.size * neg.size),
-                rank_bound=6, options=AlgorithmOptions(pair_chunk=chunk),
+                rank_bound=6,
+                options=AlgorithmOptions(
+                    pair_chunk=chunk, candidate_pipeline="eager"
+                ),
                 stats=stats,
             )
             outs.append(np.sort(cand.values, axis=0))
@@ -127,14 +171,14 @@ class TestGenerateCandidates:
         full_stats = _stats()
         full = generate_candidates(
             modes, 1, pos, neg, full_range(n_pairs), 5,
-            AlgorithmOptions(), full_stats,
+            EAGER, full_stats,
         )
         pieces = []
         for r in range(3):
             s = _stats()
             part = generate_candidates(
                 modes, 1, pos, neg, strided_range(n_pairs, r, 3), 5,
-                AlgorithmOptions(), s,
+                EAGER, s,
             )
             if part.n_modes:
                 pieces.append(part.values)

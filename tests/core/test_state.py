@@ -5,8 +5,9 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix, canonical_support_mask
 from repro.errors import AlgorithmError
+from repro.linalg.bitset import PackedSupports
 
 
 class TestConstruction:
@@ -106,3 +107,174 @@ class TestOperations:
         m = ModeMatrix(np.array([[1.0, 0.5], [0.0, 1.0]]))
         with pytest.raises(AlgorithmError):
             ModeMatrix.from_parts(m.values[:1], m.supports, m.policy)
+
+
+class TestNbytesCountsSigns:
+    def test_sign_cache_included_once_primed(self):
+        m = ModeMatrix(np.array([[1.0, -0.5, 0.0], [0.0, 1.0, 2.0]]))
+        base = m.nbytes()
+        m.sign_matrix()  # prime the cache
+        assert m.nbytes() == base + m.sign_matrix().nbytes
+
+    def test_exact_mode_counts_signs_too(self):
+        vals = np.empty((1, 2), dtype=object)
+        vals[0, :] = [Fraction(1), Fraction(-2)]
+        m = ModeMatrix(vals)
+        base = m.nbytes()
+        m.sign_matrix()
+        assert m.nbytes() == base + m.sign_matrix().nbytes
+
+
+class TestCanonicalSupportMask:
+    def test_matches_constructor_supports(self):
+        rng = np.random.default_rng(7)
+        vals = rng.normal(size=(40, 10))
+        # Sprinkle exact zeros and sub-threshold noise.
+        vals[rng.random(vals.shape) < 0.3] = 0.0
+        vals[0, 1] = 1e-13
+        m = ModeMatrix(vals)
+        mask = canonical_support_mask(vals, m.policy)
+        assert np.array_equal(mask, m.supports.to_bool().T)
+
+    def test_all_zero_row_stays_empty(self):
+        mask = canonical_support_mask(np.zeros((2, 5)), ModeMatrix(np.ones((1, 1))).policy)
+        assert not mask.any()
+
+    def test_empty_input(self):
+        mask = canonical_support_mask(np.zeros((0, 5)), ModeMatrix(np.ones((1, 1))).policy)
+        assert mask.shape == (0, 5)
+
+
+class TestFromPairs:
+    def test_matches_eager_construction(self):
+        rng = np.random.default_rng(11)
+        source = ModeMatrix(rng.normal(size=(6, 8))).values
+        pair_i = np.array([0, 2, 4])
+        pair_j = np.array([1, 3, 5])
+        a = np.abs(rng.normal(size=3)) + 0.1
+        b = np.abs(rng.normal(size=3)) + 0.1
+        eager = ModeMatrix(source[pair_i] * a[:, None] + source[pair_j] * b[:, None])
+        deferred = ModeMatrix.from_pairs(source, pair_i, pair_j, a, b)
+        assert np.array_equal(eager.values, deferred.values)
+        assert np.array_equal(eager.supports.words, deferred.supports.words)
+
+    def test_empty_pairs(self):
+        m = ModeMatrix.from_pairs(
+            np.ones((3, 5)), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64), np.zeros(0), np.zeros(0),
+        )
+        assert m.n_modes == 0 and m.q == 5
+
+
+class TestCandidateBatch:
+    def _batch(self):
+        # Row k = 1 has one positive mode (0) and two negative (1, 2):
+        # the natural pairs are (0, 1) and (0, 2), with coefficients
+        # a = -col[j] > 0, b = col[i] > 0 derived from the column.
+        source = ModeMatrix(np.array([
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, -1.0, 1.0, 0.0],
+            [0.0, -2.0, 0.0, 1.0],
+        ]))
+        k = 1
+        col = source.values[:, k]
+        pair_i = np.array([0, 0])
+        pair_j = np.array([1, 2])
+        vals = (
+            source.values[pair_i] * (-col[pair_j])[:, None]
+            + source.values[pair_j] * col[pair_i][:, None]
+        )
+        mask = canonical_support_mask(vals, source.policy)
+        batch = CandidateBatch(
+            PackedSupports.from_bool(mask.T), pair_i, pair_j, k,
+            policy=source.policy,
+        )
+        return source, batch
+
+    def test_protocol_surface(self):
+        _, batch = self._batch()
+        assert batch.n_modes == len(batch) == 2
+        assert batch.q == 4
+        assert batch.exact is False
+        assert batch.row == 1
+        assert batch.nbytes() == batch.supports.nbytes() + 2 * 2 * 8
+        assert "2 candidates" in repr(batch)
+
+    def test_materialize_matches_eager(self):
+        source, batch = self._batch()
+        dense = batch.materialize(source.values)
+        col = source.values[:, batch.row]
+        eager = ModeMatrix(
+            source.values[batch.pair_i] * (-col[batch.pair_j])[:, None]
+            + source.values[batch.pair_j] * col[batch.pair_i][:, None]
+        )
+        assert np.array_equal(dense.values, eager.values)
+        assert np.array_equal(dense.supports.words, batch.supports.words)
+
+    def test_select_and_concat(self):
+        _, batch = self._batch()
+        one = batch.select(np.array([1]))
+        assert one.n_modes == 1 and one.pair_j[0] == 2
+        assert one.row == batch.row
+        both = one.concat(batch.select(np.array([0])))
+        assert both.n_modes == 2
+        assert list(both.pair_j) == [2, 1]
+
+    def test_concat_q_mismatch(self):
+        _, batch = self._batch()
+        with pytest.raises(AlgorithmError):
+            batch.concat(CandidateBatch.empty(7))
+
+    def test_concat_row_mismatch(self):
+        _, batch = self._batch()
+        other = CandidateBatch(
+            batch.supports, batch.pair_i, batch.pair_j, batch.row + 1,
+            policy=batch.policy,
+        )
+        with pytest.raises(AlgorithmError):
+            batch.concat(other)
+
+    def test_concat_empty_adopts_row(self):
+        _, batch = self._batch()
+        # An empty batch has no row of its own; concat takes the other's.
+        out = CandidateBatch.empty(batch.q).concat(batch)
+        assert out.row == batch.row and out.n_modes == batch.n_modes
+
+    def test_dedup_keeps_first_occurrence(self):
+        _, batch = self._batch()
+        doubled = batch.concat(batch)
+        deduped = doubled.dedup()
+        assert deduped.n_modes == 2
+        assert list(deduped.pair_j) == list(batch.pair_j)
+
+    def test_dedup_noop_returns_self(self):
+        _, batch = self._batch()
+        assert batch.dedup() is batch
+
+    def test_wire_roundtrip(self):
+        # The wire is supports + int32 pair indices only; the receiver
+        # supplies the iteration row from its own (lockstep) loop counter
+        # and derives the coefficients at materialization.
+        source, batch = self._batch()
+        back = CandidateBatch.from_wire(
+            batch.to_wire(), batch.q, batch.row, batch.policy
+        )
+        assert np.array_equal(back.supports.words, batch.supports.words)
+        assert np.array_equal(back.pair_i, batch.pair_i)
+        assert np.array_equal(back.pair_j, batch.pair_j)
+        assert back.row == batch.row
+        assert np.array_equal(
+            back.materialize(source.values).values,
+            batch.materialize(source.values).values,
+        )
+
+    def test_length_mismatch_rejected(self):
+        _, batch = self._batch()
+        with pytest.raises(AlgorithmError):
+            CandidateBatch(
+                batch.supports, batch.pair_i[:1], batch.pair_j, batch.row
+            )
+
+    def test_empty(self):
+        e = CandidateBatch.empty(9)
+        assert e.n_modes == 0 and e.q == 9 and e.nbytes() >= 0

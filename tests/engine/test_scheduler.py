@@ -42,10 +42,14 @@ class TestPlanning:
         assert [j.spec.subset_id for j in jobs] == [s.subset_id for s in specs]
 
     def test_predictions_match_memory_model(self, reduced, specs):
-        jobs = make_scheduler(reduced, specs).plan()
+        sched = make_scheduler(reduced, specs)
+        jobs = sched.plan()
+        # The scheduler predicts for whatever pipeline its options select
+        # (env-sensitive default) — compare against the same pipeline.
+        pipeline = sched.context.options.candidate_pipeline
         for job in jobs:
             assert job.predicted_peak_bytes == predict_subset_peak_bytes(
-                reduced, job.spec
+                reduced, job.spec, candidate_pipeline=pipeline
             )
             assert job.predicted_peak_bytes >= 0
 

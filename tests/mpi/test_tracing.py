@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.state import ModeMatrix
+from repro.core.state import CandidateBatch, ModeMatrix
 from repro.errors import CommunicatorError
+from repro.linalg.bitset import PackedSupports
 from repro.mpi.comm import check_same_value, partition_evenly, payload_nbytes
 from repro.mpi.spmd import run_spmd
 from repro.mpi.tracing import TracingCommunicator
@@ -40,6 +41,27 @@ class TestPayloadNbytes:
     def test_none(self):
         assert payload_nbytes(None) > 0  # pickled size, small
 
+    def test_nested_containers_summed_recursively(self):
+        payload = (np.zeros(4), [np.zeros(2), np.zeros(2)], np.zeros(8))
+        assert payload_nbytes(payload) == (4 + 2 + 2 + 8) * 8
+
+    def test_candidate_batch_wire_tuple(self):
+        """Regression: the deferred pipeline's allgather payload must be
+        measured by its array contents, not a container pickle."""
+        n, q = 6, 70  # two 64-bit support words per candidate
+        words = np.zeros((n, 2), dtype=np.uint64)
+        idx = np.arange(n, dtype=np.int64)
+        batch = CandidateBatch(PackedSupports(words, q), idx, idx, 0)
+        wire = batch.to_wire()
+        # Wire carries packed words + two int32 index arrays; the
+        # coefficients are derived on receive, never stored or shipped.
+        expected = words.nbytes + 2 * 4 * n
+        assert payload_nbytes(wire) == expected
+        assert expected < batch.nbytes()
+        # Packed wire beats the dense (values + supports) payload by far.
+        dense = batch.materialize(np.ones((n, q)))
+        assert payload_nbytes((dense.values, dense.supports.words)) > 4 * expected
+
 
 class TestTracingCommunicator:
     def test_counters(self):
@@ -51,6 +73,13 @@ class TestTracingCommunicator:
         t2 = traces[2]
         assert t2.bytes_sent == 1024 * 2
         assert t2.bytes_received == 1024 * 2
+
+    def test_allgather_bytes_excludes_p2p(self):
+        traces = run_spmd(_traced_job, 3, backend="sequential")
+        # Rank 0 also does a p2p send; allgather_bytes counts only the
+        # collective's outbound traffic.
+        assert traces[0].allgather_bytes == 1024 * 2
+        assert traces[0].bytes_sent == traces[0].allgather_bytes + 1024
 
     def test_recv_bytes_counted(self):
         traces = run_spmd(_traced_job, 2, backend="sequential")
