@@ -24,6 +24,9 @@ ITERATION_COLUMNS = (
     "n_neg",
     "n_zero",
     "n_pairs",
+    "n_tiles_total",
+    "n_tiles_pruned",
+    "n_pairs_skipped",
     "n_prefilter_kept",
     "n_adjacent",
     "n_duplicates",
@@ -33,6 +36,7 @@ ITERATION_COLUMNS = (
     "n_rank_batches",
     "rank_batch_max",
     "candidate_bytes",
+    "prefilter_bytes",
     "n_neg_removed",
     "n_modes_end",
     "t_gen_cand",

@@ -85,6 +85,45 @@ def estimate_mode_bytes(n_modes: int, q: int) -> int:
     return n_modes * (8 * q + 8 * words)
 
 
+def prefilter_working_bytes(
+    q: int, n_pairs: int, pair_chunk: int, pipeline: str = "deferred"
+) -> int:
+    """Transient working-set bytes of one candidate-generation chunk.
+
+    Generation gathers, per pair in a chunk of ``min(n_pairs,
+    pair_chunk)``: the pair-index vectors (4 int64), the ORed support
+    words and the prefilter mask — plus, for survivors, the transient
+    dense candidate chunk (which the deferred pipeline frees right after
+    support extraction but which exists at the peak; the eager pipeline
+    retains it, so it is charged under :func:`candidate_row_bytes`
+    instead).  on_oom="degrade" decisions that ignored this undercounted
+    the true peak by exactly these buffers.
+    """
+    words = max(1, (q + 63) // 64)
+    chunk = max(0, min(int(n_pairs), int(pair_chunk)))
+    base = chunk * (32 + 24 * words + 1)
+    # Transient dense candidate chunk — both pipelines materialize it
+    # (eager then retains it, charged via candidate_row_bytes; deferred
+    # additionally holds the canonical mask + packed words briefly).
+    base += chunk * 8 * q
+    if pipeline == "deferred":
+        base += chunk * (q + 8 * words)
+    return base
+
+
+def zone_map_bytes(n_pos: int, n_neg: int, q: int, block: int) -> int:
+    """Bytes of the pair-space zone maps (:mod:`repro.core.pairspace`):
+    per-block AND/OR words and min popcounts on each side, plus the
+    tile-grid live/known masks and geometry vectors."""
+    words = max(1, (q + 63) // 64)
+    n_pb = -(-max(1, n_pos) // max(1, block))
+    n_nb = -(-max(1, n_neg) // max(1, block))
+    per_side = lambda nb: nb * (2 * 8 * words + 8)  # noqa: E731
+    grid = 2 * n_pb * n_nb  # live + known bool masks
+    geometry = 8 * 2 * (n_pos + n_neg) + 8 * n_pb * n_nb
+    return per_side(n_pb) + per_side(n_nb) + grid + geometry
+
+
 def candidate_row_bytes(q: int, pipeline: str = "deferred") -> int:
     """Retained bytes per candidate between generation and acceptance.
 
@@ -106,6 +145,9 @@ def predict_subset_peak_bytes(
     *,
     working_factor: float = 1.5,
     candidate_pipeline: str = "deferred",
+    pair_chunk: int = 65536,
+    pair_pruning: str = "tiles",
+    pair_block: int = 8,
 ) -> int:
     """A-priori peak-footprint prediction for one divide-and-conquer
     subproblem, before its kernel is built.
@@ -125,7 +167,11 @@ def predict_subset_peak_bytes(
     iteration's retained candidate set (:func:`candidate_row_bytes`):
     the eager pipeline holds dense candidate rows between generation and
     acceptance, the deferred default holds packed supports + pair
-    metadata only, so its predicted peak is correspondingly lower.
+    metadata only, so its predicted peak is correspondingly lower.  On
+    top of the retained set the prediction charges the *transient*
+    generation working set (:func:`prefilter_working_bytes`, bounded by
+    ``pair_chunk`` and the predicted pair count) and, with
+    ``pair_pruning="tiles"``, the zone maps (:func:`zone_map_bytes`).
 
     Returns 0 for structurally empty subproblems (no flux possible).
     """
@@ -149,6 +195,16 @@ def predict_subset_peak_bytes(
     # is on the order of the mode count itself (most pairs die in the
     # union-support prefilter), charged at the pipeline's per-row cost.
     cand_bytes = peak_modes * candidate_row_bytes(q_work, candidate_pipeline)
+    # Pair-count surrogate at the peak iteration: the two sign classes
+    # split the peak mode count roughly in half.
+    peak_pairs = (peak_modes // 2) * (peak_modes - peak_modes // 2)
+    cand_bytes += prefilter_working_bytes(
+        q_work, peak_pairs, pair_chunk, candidate_pipeline
+    )
+    if pair_pruning == "tiles":
+        cand_bytes += zone_map_bytes(
+            peak_modes // 2, peak_modes - peak_modes // 2, q_work, pair_block
+        )
     return int(
         working_factor * estimate_mode_bytes(peak_modes, q_work) + cand_bytes
     )

@@ -29,6 +29,7 @@ AcceptanceTest = Literal["rank", "bittree", "both"]
 OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
 RankBackend = Literal["batched", "loop"]
 CandidatePipeline = Literal["deferred", "eager"]
+PairPruning = Literal["tiles", "none"]
 
 
 def _default_candidate_pipeline() -> str:
@@ -36,6 +37,14 @@ def _default_candidate_pipeline() -> str:
     whole test run can be flipped to the eager parity reference (the CI
     ``candidate-pipeline`` matrix leg sets ``REPRO_CANDIDATE_PIPELINE=eager``)."""
     return os.environ.get("REPRO_CANDIDATE_PIPELINE", "deferred")
+
+
+def _default_pair_pruning() -> str:
+    """Session-wide pair-pruning default, overridable via the environment
+    so a whole test run can be flipped to the unpruned parity reference
+    (the CI ``pair-pruning`` leg sets ``REPRO_PAIR_PRUNING=off``)."""
+    val = os.environ.get("REPRO_PAIR_PRUNING", "tiles")
+    return {"off": "none", "on": "tiles"}.get(val, val)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,6 +113,19 @@ class AlgorithmOptions:
         first with reversible rows pushed last (§II.C); ``"natural"`` keeps
         kernel order; ``"most-nonzeros"`` is the adversarial ablation;
         ``"random"`` uses ``ordering_seed``.
+    pair_pruning:
+        Zone-map pruning of the candidate pair space
+        (:mod:`repro.core.pairspace`).  ``"tiles"`` (default) clusters
+        each side's modes by support similarity, partitions them into
+        ``pair_block``-sized blocks and skips whole tiles of the pair
+        space whose zone-map bound proves every pair fails — or provably
+        passes — the union-popcount prefilter; ``"none"`` disables the
+        layer (the parity reference — both settings produce bit-identical
+        EFM sets).  The default follows ``REPRO_PAIR_PRUNING``
+        (``off``/``none`` disables).
+    pair_block:
+        Modes per zone-map block on each side of the pair space;
+        ``"auto"`` (default) picks a size from the pair-space scale.
     pair_chunk:
         Vectorized candidate-generation chunk size (pairs per chunk).
     ordering_seed:
@@ -119,6 +141,10 @@ class AlgorithmOptions:
     candidate_pipeline: CandidatePipeline = dataclasses.field(
         default_factory=_default_candidate_pipeline
     )
+    pair_pruning: PairPruning = dataclasses.field(
+        default_factory=_default_pair_pruning
+    )
+    pair_block: int | str = "auto"
     ordering: OrderingName = "paper"
     pair_chunk: int = DEFAULT_PAIR_CHUNK
     ordering_seed: int = 0
@@ -135,6 +161,15 @@ class AlgorithmOptions:
         if self.candidate_pipeline not in ("deferred", "eager"):
             raise ValueError(
                 f"unknown candidate pipeline {self.candidate_pipeline!r}"
+            )
+        if self.pair_pruning not in ("tiles", "none"):
+            raise ValueError(f"unknown pair pruning {self.pair_pruning!r}")
+        if self.pair_block != "auto" and (
+            not isinstance(self.pair_block, int) or self.pair_block < 1
+        ):
+            raise ValueError(
+                f"pair_block must be 'auto' or a positive int, "
+                f"got {self.pair_block!r}"
             )
         if self.ordering not in ("paper", "natural", "most-nonzeros", "random"):
             raise ValueError(f"unknown ordering {self.ordering!r}")

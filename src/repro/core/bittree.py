@@ -60,23 +60,23 @@ class BitPatternTree:
         union = np.bitwise_or.reduce(pats, axis=0)
         if idx.size <= self.leaf_size:
             return (union, idx, None, None, None)
-        # Pick the bit whose set-count is closest to half the patterns.
-        n_words = pats.shape[1]
-        best_bit, best_score = -1, None
-        counts_target = idx.size / 2.0
-        for w in range(n_words):
-            col = pats[:, w]
-            for b in range(bitset.BITS_PER_WORD):
-                cnt = int(((col >> bitset.WORD(b)) & bitset.WORD(1)).sum())
-                if cnt == 0 or cnt == idx.size:
-                    continue
-                score = abs(cnt - counts_target)
-                if best_score is None or score < best_score:
-                    best_bit, best_score = w * bitset.BITS_PER_WORD + b, score
-        if best_bit < 0:  # all patterns identical: force a leaf
+        # Pick the bit whose set-count is closest to half the patterns —
+        # one numpy pass: unpack the packed words to a (n, n_words*64)
+        # bit matrix, column-sum, and argmin the distance to n/2.  Ties
+        # and the ascending (word, bit) scan order of the reference
+        # implementation are preserved by np.argmin's first-minimum rule.
+        bits = np.unpackbits(
+            pats.astype("<u8", copy=False).view(np.uint8),
+            axis=1,
+            bitorder="little",
+        )
+        cnt = bits.sum(axis=0, dtype=np.int64)
+        score = np.abs(cnt - idx.size / 2.0)
+        score[(cnt == 0) | (cnt == idx.size)] = np.inf
+        best_bit = int(np.argmin(score))
+        if not np.isfinite(score[best_bit]):  # all patterns identical
             return (union, idx, None, None, None)
-        w, b = divmod(best_bit, bitset.BITS_PER_WORD)
-        has = ((pats[:, w] >> bitset.WORD(b)) & bitset.WORD(1)) != 0
+        has = bits[:, best_bit] != 0
         left = self._build(idx[has])  # bit set
         right = self._build(idx[~has])  # bit clear
         return (union, None, best_bit, left, right)
@@ -110,11 +110,54 @@ class BitPatternTree:
         return False
 
     def query_batch(self, candidate_words: np.ndarray) -> np.ndarray:
-        """Vector of :meth:`has_subset_of` answers for candidate rows."""
-        return np.array(
-            [self.has_subset_of(candidate_words[i]) for i in range(candidate_words.shape[0])],
-            dtype=bool,
-        )
+        """Vector of :meth:`has_subset_of` answers for candidate rows.
+
+        Level-synchronous frontier traversal: instead of walking the tree
+        once per query, each tree node is visited once per *level* with
+        the packed batch of queries still alive at it — the union-subset
+        shortcut, leaf scans and child routing all run as vectorized
+        numpy passes over that batch.  Answers are identical to the
+        scalar walk.
+        """
+        queries = np.ascontiguousarray(candidate_words, dtype=bitset.WORD)
+        n = queries.shape[0]
+        out = np.zeros(n, dtype=bool)
+        if self._root is None or n == 0:
+            return out
+        frontier = [(self._root, np.arange(n, dtype=np.intp))]
+        while frontier:
+            next_frontier = []
+            for node, qidx in frontier:
+                qidx = qidx[~out[qidx]]  # drop already-answered queries
+                if qidx.size == 0:
+                    continue
+                union, leaf_idx, bit, left, right = node
+                qs = queries[qidx]
+                # Subtree-union shortcut: union ⊆ query ⇒ immediate hit.
+                hit = ((qs & union[None, :]) == union[None, :]).all(axis=1)
+                if hit.any():
+                    out[qidx[hit]] = True
+                    qidx = qidx[~hit]
+                    if qidx.size == 0:
+                        continue
+                    qs = queries[qidx]
+                if leaf_idx is not None:
+                    pats = self.words[leaf_idx]
+                    fits = (
+                        (pats[None, :, :] & qs[:, None, :]) == pats[None, :, :]
+                    ).all(axis=2).any(axis=1)
+                    out[qidx[fits]] = True
+                    continue
+                assert bit is not None
+                w, b = divmod(bit, bitset.BITS_PER_WORD)
+                # Bit-clear subtree for everyone; bit-set subtree only for
+                # queries that have the bit (see has_subset_of).
+                next_frontier.append((right, qidx))
+                has = (qs[:, w] >> bitset.WORD(b)) & bitset.WORD(1) != 0
+                if has.any():
+                    next_frontier.append((left, qidx[has]))
+            frontier = next_frontier
+        return out
 
 
 def _is_subset(a: np.ndarray, b: np.ndarray) -> bool:

@@ -26,6 +26,16 @@ class IterationStats:
     n_zero: int = 0
     #: pos x neg pairs formed — the paper's "generated candidate modes".
     n_pairs: int = 0
+    #: zone-map tiles evaluated by this rank (pair_pruning="tiles"; the
+    #: tiled strategy counts owned tiles, the legacy strategies count the
+    #: full map each rank builds).
+    n_tiles_total: int = 0
+    #: tiles whose zone-map bound pruned them wholesale.
+    n_tiles_pruned: int = 0
+    #: pairs skipped without per-pair work (pruned tiles + generation-
+    #: ineligible parents); always a subset of the prefilter rejections,
+    #: so n_prefilter_kept is unaffected.
+    n_pairs_skipped: int = 0
     #: pairs surviving the union-support summary rejection.
     n_prefilter_kept: int = 0
     #: pairs passing the combinatorial adjacency test (bittree mode only).
@@ -44,8 +54,15 @@ class IterationStats:
     #: retained candidate-set footprint after generation (bytes): dense
     #: values + supports on the eager pipeline, packed supports + pair
     #: indices on the deferred one.  Transient per-chunk buffers are
-    #: bounded separately by ``options.pair_chunk``.
+    #: tracked separately in ``prefilter_bytes``.
     candidate_bytes: int = 0
+    #: peak transient working set of one generation chunk (bytes): the
+    #: pair-index vectors, gathered/ORed support words and prefilter mask,
+    #: the dense candidate chunk (which the deferred pipeline frees right
+    #: after support extraction but which exists at the peak), and any
+    #: zone maps.  on_oom="degrade" decisions should add this to the
+    #: retained footprint to see the true peak.
+    prefilter_bytes: int = 0
     #: old negative-entry columns dropped (irreversible rows only).
     n_neg_removed: int = 0
     #: mode count after the iteration.
@@ -85,6 +102,17 @@ class RunStats:
         return sum(it.n_tested for it in self.iterations)
 
     @property
+    def total_tiles_pruned(self) -> int:
+        return sum(it.n_tiles_pruned for it in self.iterations)
+
+    @property
+    def total_pairs_skipped(self) -> int:
+        """Pairs never touched by per-pair work thanks to zone-map
+        pruning (always prefilter rejections, so the candidate totals
+        above are unaffected)."""
+        return sum(it.n_pairs_skipped for it in self.iterations)
+
+    @property
     def total_rank_cache_hits(self) -> int:
         return sum(it.n_rank_cache_hits for it in self.iterations)
 
@@ -113,6 +141,13 @@ class RunStats:
         """Largest per-iteration retained candidate-set footprint — the
         quantity the support-first pipeline exists to shrink."""
         return max((it.candidate_bytes for it in self.iterations), default=0)
+
+    @property
+    def peak_prefilter_bytes(self) -> int:
+        """Largest transient generation working set (pair-chunk gathers,
+        dense candidate chunk, zone maps) — see
+        :attr:`IterationStats.prefilter_bytes`."""
+        return max((it.prefilter_bytes for it in self.iterations), default=0)
 
     @property
     def n_efms(self) -> int:
@@ -150,6 +185,9 @@ class RunStats:
                     n_neg=a.n_neg,
                     n_zero=a.n_zero,
                     n_pairs=a.n_pairs + b.n_pairs,
+                    n_tiles_total=a.n_tiles_total + b.n_tiles_total,
+                    n_tiles_pruned=a.n_tiles_pruned + b.n_tiles_pruned,
+                    n_pairs_skipped=a.n_pairs_skipped + b.n_pairs_skipped,
                     n_prefilter_kept=a.n_prefilter_kept + b.n_prefilter_kept,
                     n_adjacent=a.n_adjacent + b.n_adjacent,
                     n_duplicates=a.n_duplicates + b.n_duplicates,
@@ -159,6 +197,7 @@ class RunStats:
                     n_rank_batches=a.n_rank_batches + b.n_rank_batches,
                     rank_batch_max=max(a.rank_batch_max, b.rank_batch_max),
                     candidate_bytes=max(a.candidate_bytes, b.candidate_bytes),
+                    prefilter_bytes=max(a.prefilter_bytes, b.prefilter_bytes),
                     n_neg_removed=a.n_neg_removed,
                     n_modes_end=max(a.n_modes_end, b.n_modes_end),
                     t_gen_cand=max(a.t_gen_cand, b.t_gen_cand),

@@ -165,6 +165,8 @@ class SubproblemScheduler:
                     spec,
                     working_factor=wf,
                     candidate_pipeline=self.context.options.candidate_pipeline,
+                    pair_chunk=self.context.options.pair_chunk,
+                    pair_pruning=self.context.options.pair_pruning,
                 ),
             )
             for i, spec in enumerate(self.specs)

@@ -120,24 +120,33 @@ class PackedSupports:
 
 def pack_supports(mask: np.ndarray) -> np.ndarray:
     """Pack a boolean ``(n_rows, n_modes)`` mask into ``(n_modes, n_words)``
-    uint64 words (bit r of mode j == mask[r, j]).
+    uint64 words (bit r of mode j == mask[r, j])."""
+    if mask.ndim != 2:
+        raise LinAlgError("pack_supports expects a 2-D mask")
+    return pack_support_rows(np.ascontiguousarray(mask.T))
+
+
+def pack_support_rows(by_mode: np.ndarray) -> np.ndarray:
+    """Pack a boolean row-major ``(n_modes, n_rows)`` mask into
+    ``(n_modes, n_words)`` uint64 words — the lean per-iteration packer.
 
     ``np.packbits(bitorder="little")`` emits bytes whose bit ``r & 7`` is
     row ``r``; reinterpreting 8 little-endian bytes as one uint64 puts row
     ``r`` at word bit ``r & 63`` — the layout documented above — without
-    any per-bit multiply/sum.
+    any per-bit multiply/sum.  Unlike :func:`pack_supports` this takes the
+    mask in the orientation the hot callers already hold (one mode per
+    row), so no transpose copy, dtype round-trip or ``np.pad`` happens.
     """
-    if mask.ndim != 2:
-        raise LinAlgError("pack_supports expects a 2-D mask")
-    n_rows, n_modes = mask.shape
-    nw = n_words_for(n_rows)
-    by_mode = np.ascontiguousarray(mask.T, dtype=np.uint8)  # (n_modes, n_rows)
+    if by_mode.ndim != 2:
+        raise LinAlgError("pack_support_rows expects a 2-D mask")
+    n_modes, n_rows = by_mode.shape
+    n_bytes = n_words_for(n_rows) * (BITS_PER_WORD // 8)
     packed = np.packbits(by_mode, axis=1, bitorder="little")
-    n_bytes = nw * (BITS_PER_WORD // 8)
-    if packed.shape[1] < n_bytes:
-        packed = np.pad(packed, ((0, 0), (0, n_bytes - packed.shape[1])))
-    words = np.ascontiguousarray(packed).view("<u8")
-    return np.ascontiguousarray(words.astype(WORD, copy=False))
+    if packed.shape[1] != n_bytes:
+        full = np.zeros((n_modes, n_bytes), dtype=np.uint8)
+        full[:, : packed.shape[1]] = packed
+        packed = full
+    return packed.view("<u8").astype(WORD, copy=False)
 
 
 def unpack_supports(words: np.ndarray, n_rows: int) -> np.ndarray:
@@ -150,6 +159,9 @@ def unpack_supports(words: np.ndarray, n_rows: int) -> np.ndarray:
 
 def popcount(words: np.ndarray) -> np.ndarray:
     """Per-row popcount of a packed word array: shape ``(n_modes,)``."""
+    if words.shape[1] == 1:
+        # Networks up to 64 reactions: skip the axis reduction entirely.
+        return np.bitwise_count(words[:, 0]).astype(np.int64)
     return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
 
 
@@ -159,6 +171,8 @@ def union_popcount(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ``a`` and ``b`` must have equal shapes ``(n_pairs, n_words)``; this is
     the candidate-generation prefilter workhorse.
     """
+    if a.shape[1] == 1:
+        return np.bitwise_count(a[:, 0] | b[:, 0]).astype(np.int64)
     return np.bitwise_count(a | b).sum(axis=1, dtype=np.int64)
 
 
@@ -233,6 +247,10 @@ def lexsort_rows(words: np.ndarray) -> np.ndarray:
     paper's "sort the candidate flux modes by binary representation")."""
     if words.shape[0] == 0:
         return np.zeros(0, dtype=np.intp)
+    if words.shape[1] == 1:
+        # Identical to the single-key lexsort (both are stable sorts on
+        # the word) at a fraction of the dispatch cost.
+        return np.argsort(words[:, 0], kind="stable")
     keys = tuple(words[:, k] for k in range(words.shape[1] - 1, -1, -1))
     return np.lexsort(keys)
 

@@ -1,0 +1,159 @@
+"""PairSpace zone maps: bound soundness, partition exactness, config.
+
+The load-bearing invariant is *skip-only*: a tile pruned by a zone-map
+bound may contain no pair the per-pair prefilter would keep, and a
+"known-pass" tile may contain no surviving pair the prefilter would
+reject.  Violating either silently changes the EFM set, so these tests
+check the bounds directly against the brute-force prefilter on random
+support sets, independent of the enumeration machinery on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AlgorithmOptions
+from repro.core.pairspace import PairSpace, resolve_block
+from repro.linalg import bitset
+
+
+def random_space(seed, n_modes=150, n_rows=40, density=0.25, rank_bound=8,
+                 block=4, prune=True):
+    # n_modes and the split window keep n_pairs above MIN_PRUNE_PAIRS so
+    # the zone-map bounds are actually built (the gate is internal).
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_modes, n_rows)) < density
+    words = bitset.pack_support_rows(mask)
+    split = rng.integers(40, n_modes - 40)
+    perm = rng.permutation(n_modes)
+    pos_idx = np.sort(perm[:split])
+    neg_idx = np.sort(perm[split:])
+    space = PairSpace(
+        words, pos_idx, neg_idx, rank_bound, block=block, prune=prune
+    )
+    return words, pos_idx, neg_idx, space
+
+
+def reference_keep(words, pos_idx, neg_idx, max_union):
+    """Brute-force per-pair prefilter verdicts, shape (n_pos, n_neg)."""
+    pw = words[pos_idx]
+    nw = words[neg_idx]
+    union = pw[:, None, :] | nw[None, :, :]
+    pc = np.bitwise_count(union).sum(axis=2, dtype=np.int64)
+    return pc <= max_union
+
+
+class TestBoundSoundness:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("block", [1, 3, 8])
+    def test_pair_masks_skip_only(self, seed, block):
+        words, pos_idx, neg_idx, space = random_space(seed, block=block)
+        ref = reference_keep(words, pos_idx, neg_idx, space.max_union)
+        a, b = np.divmod(np.arange(space.n_pairs), space.n_neg)
+        keep, known = space.pair_masks(a, b)
+        flat = ref[a, b]
+        # Dropped pairs must all fail the real prefilter ...
+        assert not flat[~keep].any()
+        # ... and known-pass pairs (that survive) must all pass it.
+        assert flat[keep & known].all()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruned_tiles_contain_no_passing_pair(self, seed):
+        words, pos_idx, neg_idx, space = random_space(seed, block=3)
+        ref = reference_keep(words, pos_idx, neg_idx, space.max_union)
+        elig = space.elig_pos[:, None] & space.elig_neg[None, :]
+        inv_p = np.empty(space.n_pos, dtype=np.intp)
+        inv_p[space.porder] = np.arange(space.n_pos)
+        inv_n = np.empty(space.n_neg, dtype=np.intp)
+        inv_n[space.norder] = np.arange(space.n_neg)
+        live = space.live[(inv_p // space.block)[:, None],
+                          (inv_n // space.block)[None, :]]
+        # Every pair of eligible parents inside a dead tile fails.
+        assert not ref[elig & ~live].any()
+        # Ineligible parents always fail on their own.
+        assert not ref[~elig].any()
+        # Sanity: on these densities some tiles actually prune and at
+        # least one survives (the bounds are doing nontrivial work).
+        assert 0 < space.n_tiles_pruned < space.n_tiles
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tiled_enumeration_is_skip_only_and_order_preserving(self, seed):
+        _, _, _, on = random_space(seed, block=4, prune=True)
+        words, pos_idx, neg_idx, off = random_space(seed, block=4, prune=False)
+        ref = reference_keep(words, pos_idx, neg_idx, on.max_union)
+
+        def collect(space):
+            pairs, skipped = [], 0
+            tiles = np.arange(space.n_tiles, dtype=np.intp)
+            for a, b, _, n_skip in space.iter_share_chunks(tiles, chunk=37):
+                pairs.append(np.stack([a, b], axis=1))
+                skipped += n_skip
+            return np.concatenate(pairs) if pairs else np.empty((0, 2), int), skipped
+
+        full, skip_off = collect(off)
+        kept, skip_on = collect(on)
+        assert skip_off == 0
+        assert full.shape[0] == off.n_pairs
+        assert kept.shape[0] + skip_on == on.n_pairs
+        # Every skipped pair fails the prefilter; survivors appear in the
+        # same relative order as the unpruned enumeration (subsequence).
+        key_full = full[:, 0] * off.n_neg + full[:, 1]
+        key_kept = kept[:, 0] * on.n_neg + kept[:, 1]
+        pos_in_full = {int(k): i for i, k in enumerate(key_full)}
+        order = [pos_in_full[int(k)] for k in key_kept]
+        assert order == sorted(order)
+        dropped = np.setdiff1d(key_full, key_kept)
+        da, db = np.divmod(dropped, on.n_neg)
+        assert not ref[da, db].any()
+
+
+class TestTilePartition:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5])
+    def test_shares_partition_all_tiles(self, size):
+        _, _, _, space = random_space(11, block=4)
+        shares = [space.tile_share(r, size) for r in range(size)]
+        combined = np.concatenate(shares)
+        assert np.array_equal(np.sort(combined), np.arange(space.n_tiles))
+        assert sum(space.share_pair_count(s) for s in shares) == space.n_pairs
+
+    def test_partition_independent_of_pruning(self):
+        _, _, _, on = random_space(11, block=4, prune=True)
+        _, _, _, off = random_space(11, block=4, prune=False)
+        for r in range(3):
+            assert np.array_equal(on.tile_share(r, 3), off.tile_share(r, 3))
+
+    def test_zone_map_bytes_accounted(self):
+        _, _, _, on = random_space(5, block=4, prune=True)
+        _, _, _, off = random_space(5, block=4, prune=False)
+        assert on.zone_map_nbytes() > off.zone_map_nbytes() > 0
+
+
+class TestResolveBlock:
+    def test_auto_scales_with_space(self):
+        assert resolve_block("auto", 1 << 17) == 1
+        assert resolve_block("auto", (1 << 17) + 1) == 4
+
+    def test_explicit_passthrough_and_floor(self):
+        assert resolve_block(5, 10**9) == 5
+        assert resolve_block(0, 100) == 1
+
+
+class TestConfig:
+    def test_rejects_unknown_pruning(self):
+        with pytest.raises(ValueError, match="pair pruning"):
+            AlgorithmOptions(pair_pruning="fancy")
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError, match="pair_block"):
+            AlgorithmOptions(pair_block=0)
+        with pytest.raises(ValueError, match="pair_block"):
+            AlgorithmOptions(pair_block="huge")
+
+    def test_env_default_aliases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAIR_PRUNING", "off")
+        assert AlgorithmOptions().pair_pruning == "none"
+        monkeypatch.setenv("REPRO_PAIR_PRUNING", "on")
+        assert AlgorithmOptions().pair_pruning == "tiles"
+        monkeypatch.delenv("REPRO_PAIR_PRUNING")
+        assert AlgorithmOptions().pair_pruning == "tiles"

@@ -69,7 +69,9 @@ def test_pair_strategies_equal(params):
     net = random_network(**params)
     a = compute_efms(net, method="parallel", n_ranks=3, pair_strategy="strided")
     b = compute_efms(net, method="parallel", n_ranks=3, pair_strategy="block")
+    c = compute_efms(net, method="parallel", n_ranks=3, pair_strategy="tiled")
     assert a.same_modes_as(b)
+    assert a.same_modes_as(c)
 
 
 @given(params=network_params)
