@@ -1,0 +1,245 @@
+"""Wire-protocol benchmark: typed frames + shared-memory allgather vs
+the legacy pickle mesh.
+
+Workload: Algorithm 3 (combined divide-and-conquer) on yeast Network I
+(small variant) with a ``q_sub = 5`` tail partition and 8 ranks per
+subproblem on the **process backend** — real pipes, real serialization,
+real shared memory.  The typed leg forces ``REPRO_WIRE_SEGMENT_MIN=0``
+so every Communicate&Merge allgather runs over the shared-memory arena
+plane: each rank serializes its packed candidate block **once** into its
+arena and publishes a 5-tuple descriptor along the log2(P) dissemination
+hops; the pickle leg re-pickles per peer and pushes full blobs through
+P-1 mesh pipes.
+
+Measured per leg (via the extended :class:`~repro.mpi.tracing.CommTrace`
+wire counters):
+
+* **serialized payload bytes per rank** (``wire_bytes_sent``) — frames /
+  blobs the transport actually moved, control plane excluded.  This is
+  the acceptance ratio: the arena plane moves the frame once where the
+  mesh moves a (bigger) pickle P-1 times, so typed wins by well over the
+  asserted 5x (~15x observed at P=8).
+* serialization work (``ser_bytes`` / ``n_serializations``) — bytes
+  produced by ``dumps``/``encode`` calls; serialize-once keeps this flat
+  in fan-out.
+* transport messages per rank (measured ``n_messages``: ceil(log2 P)=3
+  descriptor sends per typed allgather vs P-1=7 blob sends for pickle).
+* **modeled Communicate&Merge seconds**: the Calhoun platform replay
+  (``latency x n_messages + bytes / bandwidth``) over the measured
+  traces — the repository's Tables II-IV communicate column.  At this
+  payload scale (~100 B-2 KB per round) a real interconnect is latency
+  bound, so the 3-vs-7 message schedule is the win and the ratio is
+  asserted at >= 1.05 (observed ~2x).
+* measured host Communicate&Merge seconds and full-run wall — reported,
+  with the full-run ratio asserted only against a no-regression floor:
+  on a single-CPU host the dissemination schedule's extra superstep
+  depth costs more than 4 fewer 100-byte pipe writes save, so host
+  t_comm cannot honestly favor typed here; the modeled replay (real
+  message counts, real bytes, paper platform constants) is the
+  acceptance metric instead.
+
+The EFM set must be bit-identical between legs.  Writes
+``BENCH_wire.json`` plus a text table under ``benchmarks/out/``.
+Repetitions come from ``REPRO_BENCH_REPS`` (default 3); each leg keeps
+its best-wall repetition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.cluster.platform import CALHOUN
+from repro.config import AlgorithmOptions
+from repro.dnc.combined import combined_parallel
+from repro.dnc.selection import select_partition_reactions
+from repro.models.variants import yeast_1_small
+from repro.network.compression import compress_network
+
+Q_SUB = 5
+N_RANKS = 8
+REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+#: Acceptance: typed + arena moves >= 5x fewer serialized payload bytes
+#: per rank than the pickle mesh (design point ~15x at P=8).
+WIRE_BYTES_RATIO_TARGET = 5.0
+#: Acceptance: modeled Communicate&Merge (Calhoun replay of the measured
+#: traces) improves by >= 1.05x (design point ~2x from 3-vs-7 messages).
+MODELED_COMM_RATIO_FLOOR = 1.05
+#: No-regression floor for measured full-run wall (pickle/typed): typed
+#: must not cost more than ~1.8x wall on a 1-CPU host (observed
+#: 0.7-0.95).
+WALL_RATIO_FLOOR = 0.55
+
+
+def _aggregate(run) -> dict:
+    traces = [t for s in run.subsets for t in s.rank_traces]
+    n = max(1, len(traces))
+    # Modeled C&M: per subset the slowest rank gates the superstep; the
+    # subsets run one after another on the schedule.
+    modeled = sum(
+        max((CALHOUN.t_communicate(t) for t in s.rank_traces), default=0.0)
+        for s in run.subsets
+    )
+    t_comm = 0.0
+    for s in run.subsets:
+        if not s.rank_stats:
+            continue
+        # Per-iteration minimum across rank replicas: scheduler-noise
+        # rejection for sub-millisecond windows (see candidate-pipeline
+        # bench for the rationale).
+        for its in zip(*(rs.iterations for rs in s.rank_stats)):
+            t_comm += min(it.t_communicate + it.t_merge for it in its)
+    return {
+        "wire_bytes_per_rank": sum(t.wire_bytes_sent for t in traces) / n,
+        "ser_bytes_per_rank": sum(t.ser_bytes for t in traces) / n,
+        "n_ser_per_rank": sum(t.n_serializations for t in traces) / n,
+        "msgs_per_rank": sum(t.n_messages for t in traces) / n,
+        "modeled_comm_s": modeled,
+        "t_comm_merge_s": t_comm,
+        "n_efms": run.n_efms,
+    }
+
+
+@pytest.fixture(scope="module")
+def wire_runs():
+    reduced = compress_network(yeast_1_small()).reduced
+    partition = select_partition_reactions(
+        reduced, Q_SUB, method="tail", options=AlgorithmOptions()
+    )
+    saved = os.environ.get("REPRO_WIRE_SEGMENT_MIN")
+    out: dict = {}
+    try:
+        for proto, seg_min in (("typed", "0"), ("pickle", None)):
+            if seg_min is None:
+                os.environ.pop("REPRO_WIRE_SEGMENT_MIN", None)
+            else:
+                os.environ["REPRO_WIRE_SEGMENT_MIN"] = seg_min
+            options = AlgorithmOptions(wire_protocol=proto)
+            best = None
+            for _ in range(REPS):
+                t0 = time.perf_counter()
+                run = combined_parallel(
+                    reduced, partition, N_RANKS, options=options, backend="process"
+                )
+                wall = time.perf_counter() - t0
+                if best is None or wall < best[2]:
+                    best = (run, _aggregate(run), wall)
+            out[proto] = best
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_WIRE_SEGMENT_MIN", None)
+        else:
+            os.environ["REPRO_WIRE_SEGMENT_MIN"] = saved
+    return out
+
+
+def test_protocols_bit_identical(wire_runs):
+    typed_run = wire_runs["typed"][0]
+    pickle_run = wire_runs["pickle"][0]
+    assert typed_run.n_efms == pickle_run.n_efms == 530
+    assert np.array_equal(typed_run.efms(), pickle_run.efms())
+
+
+def test_wire_protocol_benchmark_artifacts(wire_runs, write_artifact):
+    _, typed, t_typed = wire_runs["typed"]
+    _, pickled, t_pickle = wire_runs["pickle"]
+
+    def ratio(a, b):
+        return a / b if b > 0 else float("inf")
+
+    wire_ratio = ratio(pickled["wire_bytes_per_rank"], typed["wire_bytes_per_rank"])
+    ser_ratio = ratio(pickled["ser_bytes_per_rank"], typed["ser_bytes_per_rank"])
+    modeled_ratio = ratio(pickled["modeled_comm_s"], typed["modeled_comm_s"])
+    comm_ratio = ratio(pickled["t_comm_merge_s"], typed["t_comm_merge_s"])
+    wall_ratio = ratio(t_pickle, t_typed)
+
+    table = Table(
+        title=(
+            f"Wire protocol, yeast-I-small, q_sub={Q_SUB}, "
+            f"{N_RANKS} ranks/subproblem, process backend"
+        ),
+        columns=[
+            "protocol",
+            "wire B/rank",
+            "ser B/rank",
+            "msgs/rank",
+            "modeled C&M [ms]",
+            "host C&M [s]",
+            "wall [s]",
+            "EFMs",
+        ],
+    )
+    for label, agg, wall in (("typed", typed, t_typed), ("pickle", pickled, t_pickle)):
+        table.add_row(
+            label,
+            f"{agg['wire_bytes_per_rank']:.0f}",
+            f"{agg['ser_bytes_per_rank']:.0f}",
+            f"{agg['msgs_per_rank']:.1f}",
+            f"{agg['modeled_comm_s'] * 1e3:.3f}",
+            f"{agg['t_comm_merge_s']:.3f}",
+            f"{wall:.2f}",
+            agg["n_efms"],
+        )
+    table.add_row(
+        "ratio",
+        f"{wire_ratio:.1f}x",
+        f"{ser_ratio:.1f}x",
+        f"{ratio(pickled['msgs_per_rank'], typed['msgs_per_rank']):.1f}x",
+        f"{modeled_ratio:.2f}x",
+        f"{comm_ratio:.2f}x",
+        f"{wall_ratio:.2f}x",
+        "=",
+    )
+    write_artifact("BENCH_wire.txt", table.render())
+
+    def leg(agg, wall):
+        return {
+            "wire_bytes_per_rank": round(agg["wire_bytes_per_rank"], 1),
+            "ser_bytes_per_rank": round(agg["ser_bytes_per_rank"], 1),
+            "n_ser_per_rank": round(agg["n_ser_per_rank"], 1),
+            "msgs_per_rank": round(agg["msgs_per_rank"], 1),
+            "modeled_comm_s": round(agg["modeled_comm_s"], 6),
+            "t_comm_merge_s": round(agg["t_comm_merge_s"], 4),
+            "wall_s": round(wall, 4),
+            "n_efms": agg["n_efms"],
+        }
+
+    payload = {
+        "network": "yeast-I-small",
+        "q_sub": Q_SUB,
+        "n_ranks": N_RANKS,
+        "backend": "process",
+        "reps": REPS,
+        "platform_replay": CALHOUN.name,
+        "typed": leg(typed, t_typed),
+        "pickle": leg(pickled, t_pickle),
+        "wire_bytes_per_rank_ratio": round(wire_ratio, 3),
+        "ser_bytes_per_rank_ratio": round(ser_ratio, 3),
+        "modeled_comm_ratio": round(modeled_ratio, 3),
+        "host_comm_merge_ratio": round(comm_ratio, 3),
+        "wall_ratio": round(wall_ratio, 3),
+        "targets": {
+            "wire_bytes_per_rank_ratio": WIRE_BYTES_RATIO_TARGET,
+            "modeled_comm_ratio_floor": MODELED_COMM_RATIO_FLOOR,
+            "wall_ratio_floor": WALL_RATIO_FLOOR,
+        },
+    }
+    write_artifact("BENCH_wire.json", json.dumps(payload, indent=2))
+
+    assert wire_ratio >= WIRE_BYTES_RATIO_TARGET, (
+        f"serialized payload bytes/rank ratio {wire_ratio:.2f} below "
+        f"{WIRE_BYTES_RATIO_TARGET}"
+    )
+    assert modeled_ratio >= MODELED_COMM_RATIO_FLOOR, (
+        f"modeled Communicate&Merge ratio {modeled_ratio:.2f} below "
+        f"{MODELED_COMM_RATIO_FLOOR}"
+    )
+    assert wall_ratio >= WALL_RATIO_FLOOR, (
+        f"full-run wall ratio {wall_ratio:.2f} below the no-regression "
+        f"floor {WALL_RATIO_FLOOR}"
+    )

@@ -74,9 +74,13 @@ class PlatformSpec:
 
     def t_communicate(self, trace: CommTrace) -> float:
         """Replay a communication trace: latency per message plus bytes over
-        per-rank bandwidth."""
+        per-rank bandwidth.  When the trace carries measured wire sizes
+        (typed codec frames / pickle blobs as produced by the backends),
+        those are replayed — true serialized volume, one copy per peer for
+        collectives; traces without measurements fall back to the logical
+        payload sizes, so hand-built traces model as before."""
         return trace.n_messages * self.latency + (
-            trace.bytes_sent + trace.bytes_received
+            trace.modeled_bytes_sent + trace.modeled_bytes_received
         ) / self.bandwidth
 
     def t_communicate_bytes(self, n_messages: int, n_bytes: int) -> float:

@@ -30,6 +30,7 @@ OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
 RankBackend = Literal["batched", "loop"]
 CandidatePipeline = Literal["deferred", "eager"]
 PairPruning = Literal["tiles", "none"]
+WireProtocol = Literal["typed", "pickle"]
 
 
 def _default_candidate_pipeline() -> str:
@@ -37,6 +38,20 @@ def _default_candidate_pipeline() -> str:
     whole test run can be flipped to the eager parity reference (the CI
     ``candidate-pipeline`` matrix leg sets ``REPRO_CANDIDATE_PIPELINE=eager``)."""
     return os.environ.get("REPRO_CANDIDATE_PIPELINE", "deferred")
+
+
+def _default_wire_protocol() -> str:
+    """Session-wide wire-protocol default, overridable via the environment
+    so a whole test run can be flipped to the legacy pickle reference (the
+    CI ``wire-protocol`` leg sets ``REPRO_WIRE_PROTOCOL=pickle``)."""
+    return os.environ.get("REPRO_WIRE_PROTOCOL", "typed")
+
+
+def _default_comm_timeout() -> float:
+    """Blocking-receive poll timeout (seconds) of the parallel backends,
+    overridable via ``REPRO_COMM_TIMEOUT_S`` (default: the 300 s that used
+    to be hard-coded in the process backend)."""
+    return float(os.environ.get("REPRO_COMM_TIMEOUT_S", "300"))
 
 
 def _default_pair_pruning() -> str:
@@ -128,6 +143,18 @@ class AlgorithmOptions:
         ``"auto"`` (default) picks a size from the pair-space scale.
     pair_chunk:
         Vectorized candidate-generation chunk size (pairs per chunk).
+    wire_protocol:
+        Message serialization of the parallel backends.  ``"typed"``
+        (default) frames known payload shapes (ndarrays, wire tuples,
+        scalars) into one contiguous buffer-protocol blob, serialized
+        exactly once per collective and decoded as zero-copy read-only
+        array views; ``"pickle"`` is the legacy generic path (parity
+        reference).  Both produce bit-identical EFM sets.  The default
+        follows ``REPRO_WIRE_PROTOCOL``.
+    comm_timeout_s:
+        Seconds a blocking receive waits before declaring deadlock in the
+        parallel backends (``REPRO_COMM_TIMEOUT_S``; previously a
+        hard-coded 300 s in the process backend).
     ordering_seed:
         Seed for ``ordering="random"``.
     record_trace:
@@ -147,6 +174,10 @@ class AlgorithmOptions:
     pair_block: int | str = "auto"
     ordering: OrderingName = "paper"
     pair_chunk: int = DEFAULT_PAIR_CHUNK
+    wire_protocol: WireProtocol = dataclasses.field(
+        default_factory=_default_wire_protocol
+    )
+    comm_timeout_s: float = dataclasses.field(default_factory=_default_comm_timeout)
     ordering_seed: int = 0
     record_trace: bool = False
     policy: NumericPolicy = DEFAULT_POLICY
@@ -175,6 +206,10 @@ class AlgorithmOptions:
             raise ValueError(f"unknown ordering {self.ordering!r}")
         if self.pair_chunk < 1:
             raise ValueError("pair_chunk must be positive")
+        if self.wire_protocol not in ("typed", "pickle"):
+            raise ValueError(f"unknown wire protocol {self.wire_protocol!r}")
+        if self.comm_timeout_s <= 0:
+            raise ValueError("comm_timeout_s must be positive")
 
 
 #: Shared default options instance.

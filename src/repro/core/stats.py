@@ -80,12 +80,23 @@ class RunStats:
     iterations: list[IterationStats] = dataclasses.field(default_factory=list)
     #: wall-clock of the whole run (set by the driver).
     t_total: float = 0.0
-    #: bytes sent by this rank (parallel runs).
+    #: bytes sent by this rank (parallel runs), logical payload sizes.
     bytes_sent: int = 0
     #: messages sent by this rank (parallel runs).
     messages_sent: int = 0
     #: peak replicated mode-matrix footprint observed (bytes).
     peak_mode_bytes: int = 0
+    #: serialized bytes this rank actually produced (parallel runs) — the
+    #: serialize-once transports keep this flat in fan-out where the
+    #: legacy per-peer pickling grew it by P-1.
+    ser_bytes: int = 0
+    #: payload serializations performed by this rank.
+    n_serializations: int = 0
+    #: bytes physically handed to the transport by this rank (pipe
+    #: writes, slot deposits, shared-segment writes).
+    wire_bytes_sent: int = 0
+    #: peak mapped shared-memory segment footprint of one allgather round.
+    segment_peak_bytes: int = 0
 
     def add(self, it: IterationStats) -> None:
         self.iterations.append(it)
@@ -174,6 +185,10 @@ class RunStats:
             bytes_sent=self.bytes_sent + other.bytes_sent,
             messages_sent=self.messages_sent + other.messages_sent,
             peak_mode_bytes=max(self.peak_mode_bytes, other.peak_mode_bytes),
+            ser_bytes=self.ser_bytes + other.ser_bytes,
+            n_serializations=self.n_serializations + other.n_serializations,
+            wire_bytes_sent=self.wire_bytes_sent + other.wire_bytes_sent,
+            segment_peak_bytes=max(self.segment_peak_bytes, other.segment_peak_bytes),
         )
         for a, b in zip(self.iterations, other.iterations):
             merged.add(

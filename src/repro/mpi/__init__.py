@@ -6,13 +6,34 @@ from repro.mpi.comm import Communicator
 from repro.mpi.sequential import SequentialEngine
 from repro.mpi.spmd import run_spmd
 from repro.mpi.threads import ThreadEngine
-from repro.mpi.tracing import CommTrace, TracingCommunicator
+from repro.mpi.tracing import CommEvent, CommTrace, TracingCommunicator
+from repro.mpi.wire import (
+    PROTOCOLS,
+    WireCounters,
+    WireError,
+    decode,
+    encode,
+    is_frame,
+    pack_message,
+    resolve_protocol,
+    unpack_message,
+)
 
 __all__ = [
     "Communicator",
     "SequentialEngine",
     "run_spmd",
     "ThreadEngine",
+    "CommEvent",
     "CommTrace",
     "TracingCommunicator",
+    "PROTOCOLS",
+    "WireCounters",
+    "WireError",
+    "decode",
+    "encode",
+    "is_frame",
+    "pack_message",
+    "resolve_protocol",
+    "unpack_message",
 ]

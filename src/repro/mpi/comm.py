@@ -18,16 +18,24 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.errors import CommunicatorError
+from repro.mpi.wire import WireCounters
 
 
 class Communicator(abc.ABC):
-    """One rank's endpoint of a communicator of ``size`` ranks."""
+    """One rank's endpoint of a communicator of ``size`` ranks.
 
-    def __init__(self, rank: int, size: int) -> None:
+    Every communicator carries :attr:`wire` —
+    :class:`~repro.mpi.wire.WireCounters` that the backends update with
+    serialization and transport byte counts; the tracing wrapper takes
+    deltas around each operation to attribute them to events.
+    """
+
+    def __init__(self, rank: int, size: int, protocol: str = "pickle") -> None:
         if not (0 <= rank < size):
             raise CommunicatorError(f"rank {rank} out of range for size {size}")
         self._rank = rank
         self._size = size
+        self.wire = WireCounters(protocol)
 
     @property
     def rank(self) -> int:
@@ -90,11 +98,12 @@ def payload_nbytes(obj: Any) -> int:
     """Estimate the wire size of a message payload.
 
     Arrays and objects exposing ``nbytes`` are measured directly (what an
-    MPI buffer send would move); lists and tuples are summed recursively,
-    element by element, so the structured wire payloads of the parallel
-    drivers — e.g. the deferred pipeline's ``(words, pair_i, pair_j)``
-    allgather tuple — are measured by their array contents rather than a
-    whole-container pickle.  Everything else is
+    MPI buffer send would move); lists, tuples and dict values are summed
+    recursively, element by element, so the structured wire payloads of
+    the parallel drivers — e.g. the deferred pipeline's ``(words, pair_i,
+    pair_j)`` allgather tuple, or a dict of named array parts — are
+    measured by their array contents rather than a whole-container
+    pickle.  Everything else is
     measured by pickling — exactly what the in-process backends (and
     mpi4py's lower-case API) would serialize.
     """
@@ -107,6 +116,9 @@ def payload_nbytes(obj: Any) -> int:
         return int(nb)
     if isinstance(obj, (list, tuple)):
         return int(sum(payload_nbytes(x) for x in obj))
+    if isinstance(obj, dict):
+        # Keys are metadata (short strings); the payload is the values.
+        return int(sum(payload_nbytes(v) for v in obj.values()))
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads are caller bugs

@@ -12,12 +12,12 @@ irrelevant because the clock is the platform model, not the host.
 
 from __future__ import annotations
 
-import pickle
 import threading
 from collections import deque
 from typing import Any
 
 from repro.errors import CommunicatorError
+from repro.mpi import wire
 from repro.mpi.comm import Communicator
 
 
@@ -61,24 +61,29 @@ class _Scheduler:
 class SequentialCommunicator(Communicator):
     """Rank endpoint of the sequential engine."""
 
-    def __init__(self, rank: int, size: int, world: "_World") -> None:
-        super().__init__(rank, size)
+    def __init__(
+        self, rank: int, size: int, world: "_World", *, protocol: str = "pickle"
+    ) -> None:
+        super().__init__(rank, size, protocol)
         self._world = world
+        self._protocol = protocol
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not (0 <= dest < self.size):
             raise CommunicatorError(f"send to invalid rank {dest}")
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self._world.mail[dest].append((self.rank, tag, payload))
+        blob = wire.pack_message(obj, self._protocol, self.wire)
+        self.wire.wire_out += len(blob)
+        self._world.mail[dest].append((self.rank, tag, blob))
 
     def recv(self, source: int, tag: int = 0) -> Any:
         world = self._world
         for _ in range(10_000_000):
             box = world.mail[self.rank]
-            for i, (src, t, payload) in enumerate(box):
+            for i, (src, t, blob) in enumerate(box):
                 if src == source and t == tag:
                     del box[i]
-                    return pickle.loads(payload)
+                    self.wire.wire_in += len(blob)
+                    return wire.unpack_message(blob)
             # Nothing yet: cede the turn so the sender can run.
             world.scheduler.yield_turn(self.rank)
         raise CommunicatorError("recv starved")  # pragma: no cover
@@ -87,10 +92,15 @@ class SequentialCommunicator(Communicator):
         self._rendezvous("barrier", None)
 
     def allgather(self, obj: Any) -> list[Any]:
-        slots = self._rendezvous(
-            "allgather", pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        return [pickle.loads(s) for s in slots]
+        blob = wire.pack_message(obj, self._protocol, self.wire)
+        self.wire.wire_out += len(blob)
+        slots = self._rendezvous("allgather", blob)
+        out = []
+        for r, s in enumerate(slots):
+            if r != self.rank:
+                self.wire.wire_in += len(s)
+            out.append(wire.unpack_message(s))
+        return out
 
     def _rendezvous(self, kind: str, payload: Any) -> list[Any]:
         """Generic collective: deposit a slot, spin (yielding the turn)
@@ -128,6 +138,10 @@ class SequentialEngine:
 
     name = "sequential"
 
+    def __init__(self, *, wire_protocol: str | None = None, comm_timeout: float | None = None) -> None:
+        self.wire_protocol = wire.resolve_protocol(wire_protocol)
+        self.comm_timeout = wire.resolve_timeout(comm_timeout)
+
     def run(self, fn, size: int, args: tuple = (), kwargs: dict | None = None) -> list[Any]:
         kwargs = kwargs or {}
         world = _World(size)
@@ -136,7 +150,7 @@ class SequentialEngine:
         errors: list[BaseException | None] = [None] * size
 
         def worker(rank: int) -> None:
-            comm = SequentialCommunicator(rank, size, world)
+            comm = SequentialCommunicator(rank, size, world, protocol=self.wire_protocol)
             try:
                 sched.wait_turn(rank)
                 results[rank] = fn(comm, *args, **kwargs)

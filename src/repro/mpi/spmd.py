@@ -23,21 +23,30 @@ def available_parallelism(cap: int = 8) -> int:
     return max(1, min(cap, os.cpu_count() or 1))
 
 
-def get_engine(backend: BackendName):
+def get_engine(
+    backend: BackendName,
+    *,
+    wire_protocol: str | None = None,
+    comm_timeout: float | None = None,
+):
     """Instantiate an engine by name (lazy imports keep multiprocessing out
-    of sequential-only runs)."""
+    of sequential-only runs).
+
+    ``wire_protocol``/``comm_timeout`` default from the environment
+    (``REPRO_WIRE_PROTOCOL``, ``REPRO_COMM_TIMEOUT_S``) when ``None``.
+    """
     if backend == "sequential":
         from repro.mpi.sequential import SequentialEngine  # noqa: PLC0415
 
-        return SequentialEngine()
+        return SequentialEngine(wire_protocol=wire_protocol, comm_timeout=comm_timeout)
     if backend == "thread":
         from repro.mpi.threads import ThreadEngine  # noqa: PLC0415
 
-        return ThreadEngine()
+        return ThreadEngine(wire_protocol=wire_protocol, comm_timeout=comm_timeout)
     if backend == "process":
         from repro.mpi.process import ProcessEngine  # noqa: PLC0415
 
-        return ProcessEngine()
+        return ProcessEngine(wire_protocol=wire_protocol, comm_timeout=comm_timeout)
     raise CommunicatorError(f"unknown backend {backend!r}")
 
 
@@ -48,6 +57,8 @@ def run_spmd(
     backend: BackendName = "sequential",
     args: tuple = (),
     kwargs: dict | None = None,
+    wire_protocol: str | None = None,
+    comm_timeout: float | None = None,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; returns the
     per-rank return values.
@@ -59,7 +70,8 @@ def run_spmd(
     """
     if size < 1:
         raise CommunicatorError("size must be >= 1")
-    return get_engine(backend).run(fn, size, args=args, kwargs=kwargs or {})
+    engine = get_engine(backend, wire_protocol=wire_protocol, comm_timeout=comm_timeout)
+    return engine.run(fn, size, args=args, kwargs=kwargs or {})
 
 
 __all__ = [

@@ -3,19 +3,22 @@
 NumPy releases the GIL inside its kernels, so the heavy phases (candidate
 generation, SVD rank tests) overlap to the extent the host has cores;
 regardless of overlap the *semantics* are those of a distributed-memory
-run — ranks share nothing except explicit messages (payloads are deep
-copies via pickle, so a rank mutating a received array cannot corrupt the
-sender).
+run — ranks share nothing except explicit messages.  Under the legacy
+``pickle`` protocol payloads are deep copies; under the ``typed``
+protocol a payload is framed once into a bytes blob and every receiver
+decodes zero-copy ``writeable=False`` array views of it — a rank cannot
+corrupt a peer because the views refuse mutation, and nothing aliases
+the sender's live arrays (the frame is its own buffer).
 """
 
 from __future__ import annotations
 
-import pickle
 import queue
 import threading
 from typing import Any
 
 from repro.errors import CommunicatorError
+from repro.mpi import wire
 from repro.mpi.comm import Communicator
 
 
@@ -25,7 +28,7 @@ class _SharedState:
     def __init__(self, size: int) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
-        # mailbox[dest] holds (source, tag, payload) triples.
+        # mailbox[dest] holds (source, tag, blob) triples.
         self.mailboxes: list[queue.Queue] = [queue.Queue() for _ in range(size)]
         # allgather rendezvous slots, double-buffered by phase parity so a
         # fast rank starting the next allgather cannot clobber a slow
@@ -37,43 +40,54 @@ class _SharedState:
 class ThreadCommunicator(Communicator):
     """One rank endpoint of the thread backend."""
 
-    #: seconds before a blocking receive declares deadlock.
-    RECV_TIMEOUT = 120.0
-
-    def __init__(self, rank: int, shared: _SharedState) -> None:
-        super().__init__(rank, shared.size)
+    def __init__(
+        self,
+        rank: int,
+        shared: _SharedState,
+        *,
+        protocol: str = "pickle",
+        recv_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(rank, shared.size, protocol)
         self._shared = shared
         self._stash: list[tuple[int, int, bytes]] = []
         self._phase = 0
+        self._protocol = protocol
+        self._recv_timeout = float(recv_timeout)
+
+    def _unpack(self, blob: bytes) -> Any:
+        self.wire.wire_in += len(blob)
+        return wire.unpack_message(blob)
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not (0 <= dest < self.size):
             raise CommunicatorError(f"send to invalid rank {dest}")
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self._shared.mailboxes[dest].put((self.rank, tag, payload))
+        blob = wire.pack_message(obj, self._protocol, self.wire)
+        self.wire.wire_out += len(blob)
+        self._shared.mailboxes[dest].put((self.rank, tag, blob))
 
     def recv(self, source: int, tag: int = 0) -> Any:
         # Check messages stashed by earlier mismatched receives first.
-        for i, (src, t, payload) in enumerate(self._stash):
+        for i, (src, t, blob) in enumerate(self._stash):
             if src == source and t == tag:
                 del self._stash[i]
-                return pickle.loads(payload)
+                return self._unpack(blob)
         box = self._shared.mailboxes[self.rank]
         while True:
             try:
-                src, t, payload = box.get(timeout=self.RECV_TIMEOUT)
+                src, t, blob = box.get(timeout=self._recv_timeout)
             except queue.Empty:
                 raise CommunicatorError(
                     f"rank {self.rank} timed out waiting for (src={source}, "
                     f"tag={tag}); likely deadlock"
                 ) from None
             if src == source and t == tag:
-                return pickle.loads(payload)
-            self._stash.append((src, t, payload))
+                return self._unpack(blob)
+            self._stash.append((src, t, blob))
 
     def barrier(self) -> None:
         try:
-            self._shared.barrier.wait(timeout=self.RECV_TIMEOUT)
+            self._shared.barrier.wait(timeout=self._recv_timeout)
         except threading.BrokenBarrierError:
             raise CommunicatorError("barrier broken (a rank died?)") from None
 
@@ -81,17 +95,24 @@ class ThreadCommunicator(Communicator):
         shared = self._shared
         slots = shared.slots[self._phase]
         self._phase ^= 1
-        # Deep-copy through pickle: receivers must not alias sender memory.
-        slots[self.rank] = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        # One serialization, deposited once; every reader decodes straight
+        # from the shared blob (typed: zero-copy read-only array views).
+        blob = wire.pack_message(obj, self._protocol, self.wire)
+        self.wire.wire_out += len(blob)
+        slots[self.rank] = blob
         try:
-            shared.gather_barrier.wait(timeout=self.RECV_TIMEOUT)
+            shared.gather_barrier.wait(timeout=self._recv_timeout)
         except threading.BrokenBarrierError:
             raise CommunicatorError("allgather barrier broken") from None
-        out = [pickle.loads(s) for s in slots]
+        out = []
+        for r, s in enumerate(slots):
+            if r != self.rank:
+                self.wire.wire_in += len(s)
+            out.append(wire.unpack_message(s))
         # Second barrier so nobody rewrites this parity's slots before all
         # ranks finished reading (two parities + barrier = safe).
         try:
-            shared.gather_barrier.wait(timeout=self.RECV_TIMEOUT)
+            shared.gather_barrier.wait(timeout=self._recv_timeout)
         except threading.BrokenBarrierError:
             raise CommunicatorError("allgather barrier broken") from None
         return out
@@ -102,6 +123,15 @@ class ThreadEngine:
 
     name = "thread"
 
+    def __init__(
+        self,
+        *,
+        wire_protocol: str | None = None,
+        comm_timeout: float | None = None,
+    ) -> None:
+        self.wire_protocol = wire.resolve_protocol(wire_protocol)
+        self.comm_timeout = wire.resolve_timeout(comm_timeout)
+
     def run(self, fn, size: int, args: tuple = (), kwargs: dict | None = None) -> list[Any]:
         """Run ``fn(comm, *args, **kwargs)`` on every rank; returns per-rank
         results (re-raises the first rank exception, if any)."""
@@ -111,7 +141,12 @@ class ThreadEngine:
         errors: list[BaseException | None] = [None] * size
 
         def worker(rank: int) -> None:
-            comm = ThreadCommunicator(rank, shared)
+            comm = ThreadCommunicator(
+                rank,
+                shared,
+                protocol=self.wire_protocol,
+                recv_timeout=self.comm_timeout,
+            )
             try:
                 results[rank] = fn(comm, *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
@@ -128,8 +163,6 @@ class ThreadEngine:
         for t in threads:
             t.join()
         # Prefer a root-cause exception over secondary broken-barrier noise.
-        from repro.errors import CommunicatorError  # noqa: PLC0415
-
         secondary = None
         for exc in errors:
             if exc is None:

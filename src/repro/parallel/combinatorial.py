@@ -218,10 +218,27 @@ def combinatorial_worker(
     if isinstance(comm, TracingCommunicator):
         stats.bytes_sent = comm.trace.bytes_sent
         stats.messages_sent = comm.trace.n_messages
+    _collect_wire_stats(comm, stats, memory)
     ctx.collect(stats)
     return NullspaceResult(
         problem=problem, modes=modes, stats=stats, stopped_at=stop
     )
+
+
+def _collect_wire_stats(
+    comm: Communicator, stats: RunStats, memory: MemoryModel | None
+) -> None:
+    """Copy the backend's measured transport counters into the run stats
+    (and the segment peak into the memory model's capacity report)."""
+    w = getattr(comm, "wire", None)
+    if w is None:
+        return
+    stats.ser_bytes = w.ser_bytes
+    stats.n_serializations = w.n_ser
+    stats.wire_bytes_sent = w.wire_out
+    stats.segment_peak_bytes = w.peak_segment_bytes
+    if memory is not None and w.peak_segment_bytes:
+        memory.note_segments(w.peak_segment_bytes)
 
 
 def _traced_worker(comm: Communicator, *args, **kwargs):
@@ -261,6 +278,8 @@ def combinatorial_parallel(
             "rank_cache": rank_cache,
             "context": ctx,
         },
+        wire_protocol=ctx.options.wire_protocol,
+        comm_timeout=ctx.options.comm_timeout_s,
     )
     results = [r for r, _ in outs]
     traces = [t for _, t in outs]

@@ -38,6 +38,7 @@ from repro.linalg.bitset import PackedSupports
 from repro.mpi.comm import Communicator
 from repro.mpi.spmd import BackendName, run_spmd
 from repro.mpi.tracing import CommTrace, TracingCommunicator
+from repro.parallel.combinatorial import _collect_wire_stats
 
 
 @dataclasses.dataclass
@@ -212,6 +213,7 @@ def distributed_worker(
     if isinstance(comm, TracingCommunicator):
         stats.bytes_sent = comm.trace.bytes_sent
         stats.messages_sent = comm.trace.n_messages
+    _collect_wire_stats(comm, stats, None)
     ctx.collect(stats)
     return local, stats
 
@@ -258,6 +260,8 @@ def distributed_parallel(
         backend=backend,
         args=(problem, ctx.options),
         kwargs={"stop_row": stop_row, "context": ctx},
+        wire_protocol=ctx.options.wire_protocol,
+        comm_timeout=ctx.options.comm_timeout_s,
     )
     return DistributedRunResult(
         rank_modes=[o[0] for o in outs],

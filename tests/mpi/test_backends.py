@@ -49,9 +49,14 @@ def _job_numpy(comm):
 def _job_no_aliasing(comm):
     data = np.zeros(4)
     parts = comm.allgather(data)
-    parts[0][:] = 99.0  # mutating a received buffer must not leak
+    peer = (comm.rank + 1) % comm.size
+    try:
+        parts[peer][:] = 99.0  # a received buffer must never reach the sender
+        mutated = True
+    except ValueError:  # typed protocol: received views are read-only
+        mutated = False
     again = comm.allgather(data)
-    return float(again[(comm.rank + 1) % comm.size].sum())
+    return mutated, float(again[peer].sum())
 
 
 def _job_tag_matching(comm):
@@ -109,12 +114,26 @@ class TestCollectives:
         assert outs == [[0]]
 
 
-@pytest.mark.parametrize("backend", ("sequential", "thread"))
-class TestIsolationAndErrors:
-    def test_no_buffer_aliasing(self, backend):
-        outs = run_spmd(_job_no_aliasing, 3, backend=backend)
-        assert all(o == 0.0 for o in outs)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestIsolation:
+    def test_pickle_copies_do_not_leak(self, backend):
+        outs = run_spmd(
+            _job_no_aliasing, 3, backend=backend, wire_protocol="pickle"
+        )
+        # Legacy protocol: received buffers are private writable copies.
+        assert all(o == (True, 0.0) for o in outs)
 
+    def test_typed_views_are_readonly(self, backend):
+        outs = run_spmd(
+            _job_no_aliasing, 3, backend=backend, wire_protocol="typed"
+        )
+        # Typed protocol: received arrays are zero-copy views with
+        # writeable=False — mutation raises instead of silently copying.
+        assert all(o == (False, 0.0) for o in outs)
+
+
+@pytest.mark.parametrize("backend", ("sequential", "thread"))
+class TestErrors:
     def test_rank_failure_propagates(self, backend):
         with pytest.raises((ValueError, CommunicatorError)):
             run_spmd(_job_fails_on_rank, 3, backend=backend)
