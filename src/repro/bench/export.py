@@ -37,6 +37,9 @@ ITERATION_COLUMNS = (
     "rank_batch_max",
     "candidate_bytes",
     "prefilter_bytes",
+    "n_chunks",
+    "peak_chunk_bytes",
+    "n_dedup_probes",
     "n_neg_removed",
     "n_modes_end",
     "t_gen_cand",

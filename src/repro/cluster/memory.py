@@ -121,6 +121,45 @@ def prefilter_working_bytes(
     return base
 
 
+#: Default transient-byte budget of one streaming chunk when
+#: ``iter_chunk_bytes="auto"`` and no per-rank capacity is configured.
+#: Large enough that per-chunk dispatch overhead stays negligible, small
+#: enough that a chunk's dense values never dominate a 4 GB-class node.
+DEFAULT_STREAM_CHUNK_BYTES: int = 16 << 20
+
+
+def streaming_chunk_pairs(
+    q: int,
+    iter_chunk_bytes: int | str = "auto",
+    pair_chunk: int = 65536,
+    pipeline: str = "deferred",
+    capacity_bytes: int | None = None,
+) -> int:
+    """Pairs per streaming chunk implied by a transient-byte budget.
+
+    The budget (``iter_chunk_bytes``, or with ``"auto"`` an eighth of the
+    rank's ``capacity_bytes`` when a memory model is configured, else
+    :data:`DEFAULT_STREAM_CHUNK_BYTES`) is divided by the per-pair
+    transient cost of one generation chunk
+    (:func:`prefilter_working_bytes` at ``n_pairs=1``: pair vectors,
+    gathered words, prefilter mask, the dense candidate row and — on the
+    deferred pipeline — the canonical mask + packed words).  The result
+    is clamped to ``[1, pair_chunk]``: streaming never enlarges the
+    generation chunk the batch path would use, so chunk transients are
+    monotonically bounded by the batch prediction.
+    """
+    if iter_chunk_bytes == "auto":
+        budget = (
+            max(1, int(capacity_bytes) // 8)
+            if capacity_bytes
+            else DEFAULT_STREAM_CHUNK_BYTES
+        )
+    else:
+        budget = int(iter_chunk_bytes)
+    per_pair = max(1, prefilter_working_bytes(q, 1, 1, pipeline))
+    return max(1, min(int(pair_chunk), budget // per_pair))
+
+
 def zone_map_bytes(n_pos: int, n_neg: int, q: int, block: int) -> int:
     """Bytes of the pair-space zone maps (:mod:`repro.core.pairspace`):
     per-block AND/OR words and min popcounts on each side, plus the
@@ -158,6 +197,8 @@ def predict_subset_peak_bytes(
     pair_chunk: int = 65536,
     pair_pruning: str = "tiles",
     pair_block: int = 8,
+    iter_streaming: str = "off",
+    iter_chunk_bytes: int | str = "auto",
 ) -> int:
     """A-priori peak-footprint prediction for one divide-and-conquer
     subproblem, before its kernel is built.
@@ -182,6 +223,15 @@ def predict_subset_peak_bytes(
     generation working set (:func:`prefilter_working_bytes`, bounded by
     ``pair_chunk`` and the predicted pair count) and, with
     ``pair_pruning="tiles"``, the zone maps (:func:`zone_map_bytes`).
+
+    With ``iter_streaming="on"`` the generation chunk shrinks to the
+    streaming budget (:func:`streaming_chunk_pairs`, never larger than
+    ``pair_chunk``), so the streaming prediction is at most the batch
+    prediction.  The retained-candidate charge is kept at the batch
+    surrogate: it upper-bounds the streaming state (accepted set + dedup
+    index, both a subset-sized fraction of the batch survivor charge), so
+    the prediction stays an upper bound on the measured peak in either
+    mode.
 
     Returns 0 for structurally empty subproblems (no flux possible).
     """
@@ -208,8 +258,13 @@ def predict_subset_peak_bytes(
     # Pair-count surrogate at the peak iteration: the two sign classes
     # split the peak mode count roughly in half.
     peak_pairs = (peak_modes // 2) * (peak_modes - peak_modes // 2)
+    chunk = pair_chunk
+    if iter_streaming == "on":
+        chunk = streaming_chunk_pairs(
+            q_work, iter_chunk_bytes, pair_chunk, candidate_pipeline
+        )
     cand_bytes += prefilter_working_bytes(
-        q_work, peak_pairs, pair_chunk, candidate_pipeline
+        q_work, peak_pairs, chunk, candidate_pipeline
     )
     if pair_pruning == "tiles":
         cand_bytes += zone_map_bytes(

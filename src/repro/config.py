@@ -31,6 +31,7 @@ RankBackend = Literal["batched", "loop"]
 CandidatePipeline = Literal["deferred", "eager"]
 PairPruning = Literal["tiles", "none"]
 WireProtocol = Literal["typed", "pickle"]
+IterStreaming = Literal["on", "off"]
 
 
 def _default_candidate_pipeline() -> str:
@@ -52,6 +53,25 @@ def _default_comm_timeout() -> float:
     overridable via ``REPRO_COMM_TIMEOUT_S`` (default: the 300 s that used
     to be hard-coded in the process backend)."""
     return float(os.environ.get("REPRO_COMM_TIMEOUT_S", "300"))
+
+
+def _default_iter_streaming() -> str:
+    """Session-wide streaming-iteration default, overridable via the
+    environment so a whole test run can be flipped to the batch parity
+    reference (the CI ``iter-streaming`` leg sets
+    ``REPRO_ITER_STREAMING=off``)."""
+    val = os.environ.get("REPRO_ITER_STREAMING", "on")
+    return {"none": "off"}.get(val, val)
+
+
+def _default_iter_chunk_bytes() -> int | str:
+    """Session-wide streaming chunk budget, overridable via
+    ``REPRO_ITER_CHUNK_BYTES`` (the CI tiny-chunk leg forces a small value
+    to exercise the multi-chunk path on every model).  ``"auto"`` derives
+    the budget from the memory model (:func:`repro.cluster.memory.
+    streaming_chunk_pairs`)."""
+    val = os.environ.get("REPRO_ITER_CHUNK_BYTES", "auto")
+    return val if val == "auto" else int(val)
 
 
 def _default_pair_pruning() -> str:
@@ -155,6 +175,24 @@ class AlgorithmOptions:
         Seconds a blocking receive waits before declaring deadlock in the
         parallel backends (``REPRO_COMM_TIMEOUT_S``; previously a
         hard-coded 300 s in the process backend).
+    iter_streaming:
+        How one iteration's candidate pair space is consumed.  ``"on"``
+        (default) streams it as a sequence of bounded chunks, each flowing
+        generate → incremental dedup → rank-test → accept before the next
+        chunk's dense values exist (:mod:`repro.core.iterstream`) — the
+        per-iteration candidate peak is bounded by ``iter_chunk_bytes``
+        plus the accepted set instead of the whole surviving candidate
+        set.  ``"off"`` is the batch parity reference (generate all →
+        dedup all → rank-test all).  Both produce bit-identical EFM sets
+        (keep-first dedup, order-preserving chunking); exact-arithmetic
+        runs always use the batch path.  The default follows
+        ``REPRO_ITER_STREAMING``.
+    iter_chunk_bytes:
+        Transient-byte budget of one streaming chunk (pairs per chunk are
+        derived from it — :func:`repro.cluster.memory.
+        streaming_chunk_pairs`); ``"auto"`` (default, env
+        ``REPRO_ITER_CHUNK_BYTES``) picks a budget from the memory model's
+        per-rank capacity when one is configured, else a fixed default.
     ordering_seed:
         Seed for ``ordering="random"``.
     record_trace:
@@ -178,6 +216,12 @@ class AlgorithmOptions:
         default_factory=_default_wire_protocol
     )
     comm_timeout_s: float = dataclasses.field(default_factory=_default_comm_timeout)
+    iter_streaming: IterStreaming = dataclasses.field(
+        default_factory=_default_iter_streaming
+    )
+    iter_chunk_bytes: int | str = dataclasses.field(
+        default_factory=_default_iter_chunk_bytes
+    )
     ordering_seed: int = 0
     record_trace: bool = False
     policy: NumericPolicy = DEFAULT_POLICY
@@ -210,6 +254,18 @@ class AlgorithmOptions:
             raise ValueError(f"unknown wire protocol {self.wire_protocol!r}")
         if self.comm_timeout_s <= 0:
             raise ValueError("comm_timeout_s must be positive")
+        if self.iter_streaming not in ("on", "off"):
+            raise ValueError(
+                f"unknown iter_streaming {self.iter_streaming!r}"
+            )
+        if self.iter_chunk_bytes != "auto" and (
+            not isinstance(self.iter_chunk_bytes, int)
+            or self.iter_chunk_bytes < 1
+        ):
+            raise ValueError(
+                f"iter_chunk_bytes must be 'auto' or a positive int, "
+                f"got {self.iter_chunk_bytes!r}"
+            )
 
 
 #: Shared default options instance.

@@ -160,6 +160,93 @@ class BitPatternTree:
         return out
 
 
+class SupportIndex:
+    """Appendable exact-membership index over canonical packed supports —
+    the incremental dedup structure of the streaming iteration engine
+    (:mod:`repro.core.iterstream`).
+
+    The batch iteration body deduplicates with one :func:`~repro.linalg.
+    bitset.unique_rows` pass over the whole candidate set plus a
+    membership test against the zero-entry survivors.  Streaming consumes
+    the pair space chunk by chunk, so dedup must be *incremental*: a
+    chunk's candidates are checked against the zero-entry survivors and
+    every candidate *accepted* in earlier chunks, then the chunk's own
+    accepted survivors are appended.  Keep-first throughout, so the
+    surviving candidate order — and therefore the EFM output — is
+    bit-identical to the batch path: a later duplicate of an accepted (or
+    zero-surviving) support is dropped exactly as batch dedup drops it,
+    and a later duplicate of a *rejected* support is re-tested instead —
+    the rank test decides on the support pattern alone, so it is rejected
+    again (a memo cache hit) and the output is unchanged; only the
+    duplicate/tested counters can drift from batch.  Rejected supports are
+    deliberately not stored: on low-acceptance iterations the index stays
+    a fraction of the tested set.
+
+    Storage is a geometrically grown ``(capacity, n_words)`` uint64
+    buffer; probes are vectorized (:func:`~repro.linalg.bitset.rows_in`
+    against the filled prefix).  ``frozen`` rows (the zero-entry
+    survivors' supports) are held as a borrowed read-only reference, not
+    copied: they live in the iteration's mode matrix either way — exactly
+    as the batch path probes them in place — so :meth:`nbytes` charges
+    only the appendable buffer, the memory the streaming state actually
+    adds.
+    """
+
+    __slots__ = ("n_words", "frozen", "_buf", "_n", "n_probes")
+
+    def __init__(self, n_words: int, frozen: np.ndarray | None = None) -> None:
+        self.n_words = int(n_words)
+        self.frozen = (
+            frozen
+            if frozen is not None and frozen.shape[0]
+            else np.empty((0, self.n_words), dtype=bitset.WORD)
+        )
+        self._buf = np.empty((0, self.n_words), dtype=bitset.WORD)
+        self._n = 0
+        #: candidates probed against the index (streaming stats).
+        self.n_probes = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def words(self) -> np.ndarray:
+        """The filled prefix of the buffer (read-only view semantics:
+        callers must not mutate)."""
+        return self._buf[: self._n]
+
+    def nbytes(self) -> int:
+        """Allocated buffer bytes (capacity, not fill — the allocation is
+        what the node pays for; borrowed ``frozen`` rows are charged to
+        their owner, the mode matrix)."""
+        return int(self._buf.nbytes)
+
+    def seen(self, words: np.ndarray) -> np.ndarray:
+        """Boolean mask: is each row already present in the index (frozen
+        reference rows or appended ones)?"""
+        self.n_probes += int(words.shape[0])
+        hit = bitset.rows_in(words, self.words)
+        if self.frozen.shape[0]:
+            hit |= bitset.rows_in(words, self.frozen)
+        return hit
+
+    def add(self, words: np.ndarray) -> None:
+        """Append rows (caller guarantees they are not already present —
+        :meth:`seen` filtered them; duplicates *within* ``words`` are the
+        caller's responsibility too, via first-occurrence dedup)."""
+        m = int(words.shape[0])
+        if m == 0:
+            return
+        need = self._n + m
+        if need > self._buf.shape[0]:
+            cap = max(need, 2 * self._buf.shape[0], 64)
+            grown = np.empty((cap, self.n_words), dtype=bitset.WORD)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : need] = words
+        self._n = need
+
+
 def _is_subset(a: np.ndarray, b: np.ndarray) -> bool:
     """Packed word-vector subset test: ``a ⊆ b``."""
     return bool(((a & b) == a).all())

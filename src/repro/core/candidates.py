@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -135,7 +136,7 @@ def _tiny_pair_template(n_pos: int, n_neg: int):
     return a, b
 
 
-def generate_candidates(
+def survivor_chunks(
     modes: ModeMatrix,
     k: int,
     pos_idx: np.ndarray,
@@ -144,36 +145,45 @@ def generate_candidates(
     rank_bound: int,
     options: AlgorithmOptions,
     stats: IterationStats,
+    *,
     adjacency=None,
-) -> ModeMatrix | CandidateBatch:
-    """Generate this worker's candidates for iteration row ``k``.
+    chunk_pairs: int | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, int]]:
+    """Yield this worker's per-chunk generation survivors for row ``k``.
 
-    Returns the candidates that survived the union-support prefilter (and,
-    when ``adjacency`` is given, the combinatorial pair-adjacency test —
-    see :class:`repro.core.bittree.AdjacencyTest`; it must run per-pair,
-    before any dedup): a dense :class:`ModeMatrix` on the eager pipeline, a
-    support-only :class:`CandidateBatch` on the deferred one (see the
-    module docstring).  ``rank_bound`` is the rank of the stoichiometry: a
-    candidate whose support exceeds ``rank_bound + 1`` entries is summarily
-    rejected (the prefilter tests the pair's support *union*, which
-    overcounts the true support by at least the annihilated row ``k``,
-    hence the ``+ 2`` below).
+    The shared generation front-end of the batch (:func:`generate_candidates`)
+    and streaming (:mod:`repro.core.iterstream`) iteration bodies: pair
+    enumeration (template / tiled / legacy order), zone-map pruning, the
+    union-support prefilter and the optional per-pair adjacency test all
+    live here, once.  Each yielded tuple is ``(i_ok, j_ok, raw,
+    transient)``: the surviving pairs' source-mode indices, the raw
+    (un-normalized) dense combination chunk, and the chunk's transient
+    working-set bytes (pair vectors, gathered words, prefilter mask, the
+    dense chunk, zone maps — already folded into ``stats.prefilter_bytes``).
+
+    ``chunk_pairs`` bounds the pairs per chunk (default
+    ``options.pair_chunk``).  Chunk *granularity* never changes the pair
+    enumeration order — only which path is taken does, and every path
+    decision (tiny-template gate, block resolution, tile geometry) depends
+    solely on the space shape and ``options``, never on ``chunk_pairs`` —
+    so any two chunkings enumerate identical survivors in identical order.
+
+    ``rank_bound`` is the rank of the stoichiometry: a candidate whose
+    support exceeds ``rank_bound + 1`` entries is summarily rejected (the
+    prefilter tests the pair's support *union*, which overcounts the true
+    support by at least the annihilated row ``k``, hence the ``+ 2``
+    below).
     """
     n_neg = neg_idx.size
     vals = modes.values
     sup = modes.supports.words
     col = vals[:, k]
-    deferred = options.candidate_pipeline == "deferred" and not modes.exact
     n_words = sup.shape[1]
     sup1 = sup[:, 0] if n_words == 1 else None
+    if chunk_pairs is None:
+        chunk_pairs = options.pair_chunk
+    chunk_pairs = max(1, int(chunk_pairs))
 
-    kept_chunks: list[np.ndarray] = []
-    word_chunks: list[np.ndarray] = []
-    i_chunks: list[np.ndarray] = []
-    j_chunks: list[np.ndarray] = []
-    n_prefilter_kept = 0
-    n_adjacent = 0
-    n_skipped = 0
     peak_transient = 0
     max_union = rank_bound + 2
 
@@ -183,11 +193,13 @@ def generate_candidates(
     prune = options.pair_pruning == "tiles"
     space = None
     # Tiny spaces (below the MIN_PRUNE_PAIRS gate, where zone maps never
-    # build) take a template fast path: one cached i-major chunk, no
+    # build) take a template fast path: cached i-major chunks, no
     # clustering, no tile geometry.  Iterations here are dominated by
     # per-call dispatch overhead, and the condition is independent of the
     # pruning switch, so both arms enumerate identically (skip-only parity
-    # is trivial: nothing is skipped).
+    # is trivial: nothing is skipped).  The gate reads ``options.pair_chunk``
+    # — never the effective ``chunk_pairs`` — so batch and streaming runs
+    # take the same arm and enumerate in the same order.
     fast = (
         n_pairs_space < MIN_PRUNE_PAIRS
         and n_pairs_space <= options.pair_chunk
@@ -197,10 +209,13 @@ def generate_candidates(
         a_t, b_t = _tiny_pair_template(int(pos_idx.size), int(n_neg))
         if tiled:
             stats.n_pairs = n_pairs_space
-            chunks = ((a_t, b_t, None, 0),)
         else:
             sl = slice(pair_range.start, pair_range.stop, pair_range.step)
-            chunks = ((a_t[sl], b_t[sl], None, 0),)
+            a_t, b_t = a_t[sl], b_t[sl]
+        chunks = (
+            (a_t[s : s + chunk_pairs], b_t[s : s + chunk_pairs], None, 0)
+            for s in range(0, int(a_t.size), chunk_pairs)
+        )
     # Zone maps only pay for themselves once the pair space is big enough
     # to amortize their construction (PairSpace applies the
     # MIN_PRUNE_PAIRS gate itself); the non-tiny tiled path always builds
@@ -220,7 +235,7 @@ def generate_candidates(
                 stats.n_tiles_pruned += int(
                     share.size - np.count_nonzero(space.live.ravel()[share])
                 )
-            chunks = space.iter_share_chunks(share, options.pair_chunk)
+            chunks = space.iter_share_chunks(share, chunk_pairs)
         else:
             if space is not None:
                 # Per-rank work counters: each rank builds and evaluates
@@ -230,14 +245,13 @@ def generate_candidates(
                 stats.n_tiles_pruned += space.n_tiles_pruned
                 if not space.worth_masking:
                     space = None  # nothing skippable: stay on lean path
-            chunks = _legacy_chunks(
-                pair_range, options.pair_chunk, n_neg, space
-            )
+            chunks = _legacy_chunks(pair_range, chunk_pairs, n_neg, space)
         if space is not None:
             peak_transient = space.zone_map_nbytes()
+            stats.prefilter_bytes = max(stats.prefilter_bytes, peak_transient)
 
     for a_sel, b_sel, known, skipped in chunks:
-        n_skipped += skipped
+        stats.n_pairs_skipped += skipped
         m = int(a_sel.size)
         if m == 0:
             continue
@@ -288,20 +302,60 @@ def generate_candidates(
             j_ok = j_sel[ok]
         if i_ok.size == 0:
             continue
-        n_prefilter_kept += int(i_ok.size)
+        stats.n_prefilter_kept += int(i_ok.size)
         if adjacency is not None:
             adj = adjacency.adjacent(union[ok])
             i_ok = i_ok[adj]
             j_ok = j_ok[adj]
-            n_adjacent += int(i_ok.size)
+            stats.n_adjacent += int(i_ok.size)
             if i_ok.size == 0:
                 continue
         a = -col[j_ok]  # > 0
         b = col[i_ok]  # > 0
         cand = vals[i_ok] * a[:, None] + vals[j_ok] * b[:, None]
         # ... plus the dense candidate chunk (on the deferred pipeline it
-        # dies right below, but it exists — on_oom decisions must see it).
+        # dies with the chunk, but it exists — on_oom decisions must see
+        # it).
         transient += cand.nbytes
+        peak_transient = max(peak_transient, transient)
+        stats.prefilter_bytes = max(stats.prefilter_bytes, peak_transient)
+        yield i_ok, j_ok, cand, transient
+
+
+def generate_candidates(
+    modes: ModeMatrix,
+    k: int,
+    pos_idx: np.ndarray,
+    neg_idx: np.ndarray,
+    pair_range: PairRange,
+    rank_bound: int,
+    options: AlgorithmOptions,
+    stats: IterationStats,
+    adjacency=None,
+) -> ModeMatrix | CandidateBatch:
+    """Generate this worker's candidates for iteration row ``k`` — the
+    *batch* consumer of :func:`survivor_chunks` (``iter_streaming="off"``;
+    the streaming engine :mod:`repro.core.iterstream` consumes the same
+    generator chunk by chunk instead of accumulating).
+
+    Returns the candidates that survived the union-support prefilter (and,
+    when ``adjacency`` is given, the combinatorial pair-adjacency test —
+    see :class:`repro.core.bittree.AdjacencyTest`; it must run per-pair,
+    before any dedup): a dense :class:`ModeMatrix` on the eager pipeline, a
+    support-only :class:`CandidateBatch` on the deferred one (see the
+    module docstring).
+    """
+    deferred = options.candidate_pipeline == "deferred" and not modes.exact
+
+    kept_chunks: list[np.ndarray] = []
+    word_chunks: list[np.ndarray] = []
+    i_chunks: list[np.ndarray] = []
+    j_chunks: list[np.ndarray] = []
+
+    for i_ok, j_ok, cand, transient in survivor_chunks(
+        modes, k, pos_idx, neg_idx, pair_range, rank_bound, options, stats,
+        adjacency=adjacency,
+    ):
         if deferred:
             # Support-first: extract canonical supports from the transient
             # chunk values, then let the dense rows — and the coefficients,
@@ -310,15 +364,13 @@ def generate_candidates(
             word_chunks.append(pack_support_rows(mask))
             i_chunks.append(i_ok)
             j_chunks.append(j_ok)
-            transient += mask.nbytes + word_chunks[-1].nbytes
+            stats.prefilter_bytes = max(
+                stats.prefilter_bytes,
+                transient + mask.nbytes + word_chunks[-1].nbytes,
+            )
         else:
             kept_chunks.append(cand)
-        peak_transient = max(peak_transient, transient)
 
-    stats.n_prefilter_kept += n_prefilter_kept
-    stats.n_adjacent += n_adjacent
-    stats.n_pairs_skipped += n_skipped
-    stats.prefilter_bytes = max(stats.prefilter_bytes, peak_transient)
     if deferred:
         if not word_chunks:
             return CandidateBatch.empty(modes.q, k, policy=modes.policy)

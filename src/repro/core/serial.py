@@ -28,7 +28,7 @@ from typing import Callable
 import numpy as np
 
 from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
-from repro.core import bittree
+from repro.core import bittree, iterstream
 from repro.core.candidates import PairRange, full_range, generate_candidates
 from repro.core.kernel import NullspaceProblem
 from repro.core.ranktest import rank_test
@@ -156,6 +156,11 @@ def iterate_row(
     come back as a dense :class:`ModeMatrix`, while ``materialize=False``
     hands the batch to the caller so a parallel driver can communicate the
     packed representation and materialize after the global merge.
+
+    With ``options.iter_streaming == "on"`` (float arithmetic) the
+    generate → dedup → rank-test sequence runs as a bounded-memory chunk
+    stream (:func:`repro.core.iterstream.stream_iteration`) instead of
+    three whole-set phases; the output is bit-identical either way.
     """
     signs = modes.sign_column(k)
     pos_idx = np.nonzero(signs > 0)[0]
@@ -183,42 +188,52 @@ def iterate_row(
         if options.acceptance in ("bittree", "both"):
             with PhaseTimer(stats, "t_rank_test"):
                 adjacency = bittree.AdjacencyTest(modes.supports.words, modes.q, k)
-        with PhaseTimer(stats, "t_gen_cand"):
-            cand = generate_candidates(
-                modes, k, pos_idx, neg_idx, pr, problem.rank, options, stats,
+        if options.iter_streaming == "on" and not modes.exact:
+            cand = iterstream.stream_iteration(
+                modes, k, pos_idx, neg_idx, pr, problem.n_perm,
+                problem.rank, options, stats,
+                zero_words=modes.supports.words[zero_mask],
                 adjacency=adjacency,
+                n_exact=n_exact,
+                rank_cache=rank_cache,
             )
-        with PhaseTimer(stats, "t_merge"):
-            before = cand.n_modes
-            cand = cand.dedup()
-            # Drop candidates identical (by support) to zero-entry modes
-            # that survive into the next iteration anyway.
-            if cand.n_modes and stats.n_zero:
-                zero_words = modes.supports.words[zero_mask]
-                dup = bitset.rows_in(cand.supports.words, zero_words)
-                if dup.any():
-                    cand = cand.select(~dup)
-            stats.n_duplicates = before - cand.n_modes
-        if options.acceptance in ("rank", "both"):
-            stats.n_tested = cand.n_modes
-            with PhaseTimer(stats, "t_rank_test"):
-                accept = rank_test(
-                    cand,
-                    problem.n_perm,
-                    problem.rank,
-                    policy=options.policy,
-                    n_exact=n_exact,
-                    backend=options.rank_backend,
-                    cache=rank_cache,
-                    stats=stats,
+        else:
+            with PhaseTimer(stats, "t_gen_cand"):
+                cand = generate_candidates(
+                    modes, k, pos_idx, neg_idx, pr, problem.rank, options,
+                    stats, adjacency=adjacency,
                 )
-            if options.acceptance == "both" and not accept.all():
-                raise AlgorithmError(
-                    "adjacency test accepted a candidate the rank test "
-                    f"rejects at row {k} ({int((~accept).sum())} of "
-                    f"{cand.n_modes})"
-                )
-            cand = cand.select(accept)
+            with PhaseTimer(stats, "t_merge"):
+                before = cand.n_modes
+                cand = cand.dedup()
+                # Drop candidates identical (by support) to zero-entry
+                # modes that survive into the next iteration anyway.
+                if cand.n_modes and stats.n_zero:
+                    zero_words = modes.supports.words[zero_mask]
+                    dup = bitset.rows_in(cand.supports.words, zero_words)
+                    if dup.any():
+                        cand = cand.select(~dup)
+                stats.n_duplicates = before - cand.n_modes
+            if options.acceptance in ("rank", "both"):
+                stats.n_tested = cand.n_modes
+                with PhaseTimer(stats, "t_rank_test"):
+                    accept = rank_test(
+                        cand,
+                        problem.n_perm,
+                        problem.rank,
+                        policy=options.policy,
+                        n_exact=n_exact,
+                        backend=options.rank_backend,
+                        cache=rank_cache,
+                        stats=stats,
+                    )
+                if options.acceptance == "both" and not accept.all():
+                    raise AlgorithmError(
+                        "adjacency test accepted a candidate the rank test "
+                        f"rejects at row {k} ({int((~accept).sum())} of "
+                        f"{cand.n_modes})"
+                    )
+                cand = cand.select(accept)
         stats.n_accepted = cand.n_modes
         if materialize and isinstance(cand, CandidateBatch):
             # Deferred pipeline: dense normalized values exist only from

@@ -84,7 +84,7 @@ class ModeMatrix:
         already canonical (used on slicing paths).
     """
 
-    __slots__ = ("values", "supports", "policy", "_signs")
+    __slots__ = ("values", "supports", "policy", "_signs", "dedup_index")
 
     def __init__(
         self,
@@ -104,6 +104,7 @@ class ModeMatrix:
         self.values = values
         self.policy = policy
         self._signs = None
+        self.dedup_index = None
         if values.dtype == object:
             mask = np.array(
                 [[x != 0 for x in row] for row in values], dtype=bool
@@ -130,6 +131,7 @@ class ModeMatrix:
         out.supports = supports
         out.policy = policy
         out._signs = None
+        out.dedup_index = None
         return out
 
     @classmethod
@@ -199,13 +201,15 @@ class ModeMatrix:
 
     def nbytes(self) -> int:
         """Replicated storage footprint of this mode set (values +
-        supports + the cached sign matrix once primed) — what the paper's
+        supports + the cached sign matrix once primed, plus an attached
+        streaming dedup index while one is alive) — what the paper's
         memory bottleneck is made of."""
         signs = 0 if self._signs is None else int(self._signs.nbytes)
+        extra = 0 if self.dedup_index is None else self.dedup_index.nbytes()
         if self.exact:
             # Fractions are heap objects; approximate with 32 bytes/entry.
-            return self.values.size * 32 + self.supports.nbytes() + signs
-        return int(self.values.nbytes) + self.supports.nbytes() + signs
+            return self.values.size * 32 + self.supports.nbytes() + signs + extra
+        return int(self.values.nbytes) + self.supports.nbytes() + signs + extra
 
     # -- row access -----------------------------------------------------------
 
@@ -240,6 +244,7 @@ class ModeMatrix:
         out.policy = self.policy
         out.supports = self.supports[idx]
         out._signs = None if self._signs is None else self._signs[idx]
+        out.dedup_index = None
         return out
 
     def concat(self, other: "ModeMatrix") -> "ModeMatrix":
@@ -251,6 +256,7 @@ class ModeMatrix:
         out.values = np.concatenate([self.values, other.values], axis=0)
         out.policy = self.policy
         out.supports = self.supports.concat(other.supports)
+        out.dedup_index = None
         # Keep the sign cache warm once primed: only the (typically small)
         # other side recomputes, never the accumulated survivor block.
         if self._signs is None:
@@ -305,7 +311,7 @@ class CandidateBatch:
     Float arithmetic only; exact-mode runs use the eager pipeline.
     """
 
-    __slots__ = ("supports", "pair_i", "pair_j", "row", "policy")
+    __slots__ = ("supports", "pair_i", "pair_j", "row", "policy", "dedup_index")
 
     def __init__(
         self,
@@ -325,6 +331,7 @@ class CandidateBatch:
         self.supports = supports
         self.row = int(row)
         self.policy = policy
+        self.dedup_index = None
 
     @classmethod
     def empty(
@@ -350,6 +357,7 @@ class CandidateBatch:
         out.pair_j = pair_j
         out.row = row
         out.policy = policy
+        out.dedup_index = None
         return out
 
     # -- ModeMatrix-compatible protocol (dedup / rank test surface) ----------
@@ -371,11 +379,13 @@ class CandidateBatch:
 
     def nbytes(self) -> int:
         """Retained footprint: support words + pair indices (no dense
-        values and no coefficients, by construction)."""
+        values and no coefficients, by construction), plus an attached
+        streaming dedup index while one is alive."""
         return (
             self.supports.nbytes()
             + int(self.pair_i.nbytes)
             + int(self.pair_j.nbytes)
+            + (0 if self.dedup_index is None else self.dedup_index.nbytes())
         )
 
     def select(self, idx: np.ndarray | Sequence[int]) -> "CandidateBatch":

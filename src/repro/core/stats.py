@@ -63,6 +63,16 @@ class IterationStats:
     #: zone maps.  on_oom="degrade" decisions should add this to the
     #: retained footprint to see the true peak.
     prefilter_bytes: int = 0
+    #: streaming chunks processed by this rank (iter_streaming="on";
+    #: batch iterations leave this 0).
+    n_chunks: int = 0
+    #: largest retained candidate footprint of one streaming chunk
+    #: (bytes): packed supports + pair indices on the deferred pipeline,
+    #: the dense chunk matrix on the eager one.
+    peak_chunk_bytes: int = 0
+    #: candidates probed against the incremental dedup index
+    #: (streaming; see repro.core.bittree.SupportIndex).
+    n_dedup_probes: int = 0
     #: old negative-entry columns dropped (irreversible rows only).
     n_neg_removed: int = 0
     #: mode count after the iteration.
@@ -148,6 +158,22 @@ class RunStats:
         return sum(it.t_communicate for it in self.iterations)
 
     @property
+    def total_stream_chunks(self) -> int:
+        """Streaming chunks processed across all iterations (0 for
+        batch runs)."""
+        return sum(it.n_chunks for it in self.iterations)
+
+    @property
+    def total_dedup_probes(self) -> int:
+        """Candidates probed against the incremental dedup index."""
+        return sum(it.n_dedup_probes for it in self.iterations)
+
+    @property
+    def peak_stream_chunk_bytes(self) -> int:
+        """Largest retained single-chunk candidate footprint (streaming)."""
+        return max((it.peak_chunk_bytes for it in self.iterations), default=0)
+
+    @property
     def peak_candidate_bytes(self) -> int:
         """Largest per-iteration retained candidate-set footprint — the
         quantity the support-first pipeline exists to shrink."""
@@ -213,6 +239,9 @@ class RunStats:
                     rank_batch_max=max(a.rank_batch_max, b.rank_batch_max),
                     candidate_bytes=max(a.candidate_bytes, b.candidate_bytes),
                     prefilter_bytes=max(a.prefilter_bytes, b.prefilter_bytes),
+                    n_chunks=a.n_chunks + b.n_chunks,
+                    peak_chunk_bytes=max(a.peak_chunk_bytes, b.peak_chunk_bytes),
+                    n_dedup_probes=a.n_dedup_probes + b.n_dedup_probes,
                     n_neg_removed=a.n_neg_removed,
                     n_modes_end=max(a.n_modes_end, b.n_modes_end),
                     t_gen_cand=max(a.t_gen_cand, b.t_gen_cand),

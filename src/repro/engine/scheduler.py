@@ -167,6 +167,8 @@ class SubproblemScheduler:
                     candidate_pipeline=self.context.options.candidate_pipeline,
                     pair_chunk=self.context.options.pair_chunk,
                     pair_pruning=self.context.options.pair_pruning,
+                    iter_streaming=self.context.options.iter_streaming,
+                    iter_chunk_bytes=self.context.options.iter_chunk_bytes,
                 ),
             )
             for i, spec in enumerate(self.specs)

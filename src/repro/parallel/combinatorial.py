@@ -43,6 +43,12 @@ from repro.linalg.bitset import PackedSupports
 from repro.mpi.comm import Communicator
 from repro.mpi.spmd import BackendName, run_spmd
 from repro.mpi.tracing import CommTrace, TracingCommunicator
+from repro.parallel._driver_common import (
+    collect_wire_stats,
+    pack_modes,
+    traced_worker,
+    unpack_modes,
+)
 from repro.parallel.pairs import PairStrategyName, get_pair_strategy
 
 
@@ -67,17 +73,6 @@ class ParallelRunResult:
         for s in self.rank_stats[1:]:
             agg = agg.merged_with(s)
         return agg
-
-
-def _pack_modes(modes: ModeMatrix) -> tuple[np.ndarray, np.ndarray]:
-    return modes.values, modes.supports.words
-
-
-def _unpack_modes(parts, q: int, policy) -> ModeMatrix:
-    values, words = parts
-    return ModeMatrix.from_parts(
-        values, PackedSupports(words, q), policy
-    )
 
 
 def combinatorial_worker(
@@ -193,11 +188,11 @@ def combinatorial_worker(
                 merged = ModeMatrix.empty(problem.q, policy=options.policy)
         else:
             t0 = time.perf_counter()
-            gathered = comm.allgather(_pack_modes(cand_local))
+            gathered = comm.allgather(pack_modes(cand_local))
             it.t_communicate += time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            parts = [_unpack_modes(g, problem.q, options.policy) for g in gathered]
+            parts = [unpack_modes(g, problem.q, options.policy) for g in gathered]
             merged = parts[0]
             for p in parts[1:]:
                 merged = merged.concat(p)
@@ -218,33 +213,11 @@ def combinatorial_worker(
     if isinstance(comm, TracingCommunicator):
         stats.bytes_sent = comm.trace.bytes_sent
         stats.messages_sent = comm.trace.n_messages
-    _collect_wire_stats(comm, stats, memory)
+    collect_wire_stats(comm, stats, memory)
     ctx.collect(stats)
     return NullspaceResult(
         problem=problem, modes=modes, stats=stats, stopped_at=stop
     )
-
-
-def _collect_wire_stats(
-    comm: Communicator, stats: RunStats, memory: MemoryModel | None
-) -> None:
-    """Copy the backend's measured transport counters into the run stats
-    (and the segment peak into the memory model's capacity report)."""
-    w = getattr(comm, "wire", None)
-    if w is None:
-        return
-    stats.ser_bytes = w.ser_bytes
-    stats.n_serializations = w.n_ser
-    stats.wire_bytes_sent = w.wire_out
-    stats.segment_peak_bytes = w.peak_segment_bytes
-    if memory is not None and w.peak_segment_bytes:
-        memory.note_segments(w.peak_segment_bytes)
-
-
-def _traced_worker(comm: Communicator, *args, **kwargs):
-    traced = TracingCommunicator(comm)
-    result = combinatorial_worker(traced, *args, **kwargs)
-    return result, traced.trace
 
 
 def combinatorial_parallel(
@@ -267,7 +240,7 @@ def combinatorial_parallel(
     """
     ctx = RunContext.ensure(context, options=options)
     outs = run_spmd(
-        _traced_worker,
+        traced_worker(combinatorial_worker),
         n_ranks,
         backend=backend,
         args=(problem, ctx.options),

@@ -27,18 +27,22 @@ import numpy as np
 
 from repro.config import DEFAULT_OPTIONS, AlgorithmOptions
 from repro.core.candidates import generate_candidates, strided_range
+from repro.core.iterstream import stream_iteration
 from repro.core.kernel import NullspaceProblem
 from repro.core.ranktest import rank_test
 from repro.core.state import CandidateBatch, ModeMatrix
-from repro.core.stats import IterationStats, RunStats
+from repro.core.stats import PhaseTimer, RunStats
 from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
-from repro.linalg import bitset, rational
-from repro.linalg.bitset import PackedSupports
+from repro.linalg import bitset
 from repro.mpi.comm import Communicator
 from repro.mpi.spmd import BackendName, run_spmd
 from repro.mpi.tracing import CommTrace, TracingCommunicator
-from repro.parallel.combinatorial import _collect_wire_stats
+from repro.parallel._driver_common import (
+    collect_wire_stats,
+    concat_mode_parts,
+    traced_worker,
+)
 
 
 @dataclasses.dataclass
@@ -132,8 +136,12 @@ def distributed_worker(
         )
         it.t_communicate += time.perf_counter() - t0
 
-        pos_all = _concat_parts([(g[0], g[1]) for g in gathered], q, options)
-        neg_all = _concat_parts([(g[2], g[3]) for g in gathered], q, options)
+        pos_all = concat_mode_parts(
+            [(g[0], g[1]) for g in gathered], q, options.policy
+        )
+        neg_all = concat_mode_parts(
+            [(g[2], g[3]) for g in gathered], q, options.policy
+        )
         it.n_pos = pos_all.n_modes
         it.n_neg = neg_all.n_modes
         it.n_zero = zero_keep.n_modes  # local share only
@@ -146,26 +154,37 @@ def distributed_worker(
             neg_idx = pos_all.n_modes + np.arange(neg_all.n_modes)
             pr = strided_range(n_pairs_total, comm.rank, comm.size)
             it.n_pairs = pr.count()
-            with _timer(it, "t_gen_cand"):
-                cand = generate_candidates(
-                    active, k, pos_idx, neg_idx, pr, problem.rank, options, it
+            if options.iter_streaming == "on":
+                # Stream the local pair share chunk by chunk.  No
+                # zero-entry preload: duplicate control against zero
+                # survivors is global here, after the allgather below.
+                cand = stream_iteration(
+                    active, k, pos_idx, neg_idx, pr, problem.n_perm,
+                    problem.rank, options, it,
+                    acceptance="rank", rank_cache=rank_cache,
                 )
-            with _timer(it, "t_merge"):
-                before = cand.n_modes
-                cand = cand.dedup()
-                it.n_duplicates += before - cand.n_modes
-            it.n_tested = cand.n_modes
-            with _timer(it, "t_rank_test"):
-                accept = rank_test(
-                    cand,
-                    problem.n_perm,
-                    problem.rank,
-                    policy=options.policy,
-                    backend=options.rank_backend,
-                    cache=rank_cache,
-                    stats=it,
-                )
-                cand = cand.select(accept)
+            else:
+                with PhaseTimer(it, "t_gen_cand"):
+                    cand = generate_candidates(
+                        active, k, pos_idx, neg_idx, pr, problem.rank,
+                        options, it,
+                    )
+                with PhaseTimer(it, "t_merge"):
+                    before = cand.n_modes
+                    cand = cand.dedup()
+                    it.n_duplicates += before - cand.n_modes
+                it.n_tested = cand.n_modes
+                with PhaseTimer(it, "t_rank_test"):
+                    accept = rank_test(
+                        cand,
+                        problem.n_perm,
+                        problem.rank,
+                        policy=options.policy,
+                        backend=options.rank_backend,
+                        cache=rank_cache,
+                        stats=it,
+                    )
+                    cand = cand.select(accept)
             it.n_accepted = cand.n_modes
 
         # Global duplicate control over supports only: a candidate is kept
@@ -175,7 +194,7 @@ def distributed_worker(
         zero_words_all = comm.allgather(zero_keep.supports.words)
         cand_words_all = comm.allgather(cand.supports.words)
         it.t_communicate += time.perf_counter() - t0
-        with _timer(it, "t_merge"):
+        with PhaseTimer(it, "t_merge"):
             zero_words = np.concatenate(zero_words_all, axis=0)
             if cand.n_modes:
                 drop = bitset.rows_in(cand.supports.words, zero_words)
@@ -213,34 +232,9 @@ def distributed_worker(
     if isinstance(comm, TracingCommunicator):
         stats.bytes_sent = comm.trace.bytes_sent
         stats.messages_sent = comm.trace.n_messages
-    _collect_wire_stats(comm, stats, None)
+    collect_wire_stats(comm, stats, None)
     ctx.collect(stats)
     return local, stats
-
-
-def _concat_parts(parts, q, options) -> ModeMatrix:
-    vals = np.concatenate([p[0] for p in parts], axis=0)
-    words = np.concatenate([p[1] for p in parts], axis=0)
-    return ModeMatrix.from_parts(vals, PackedSupports(words, q), options.policy)
-
-
-class _timer:
-    __slots__ = ("it", "field", "t0")
-
-    def __init__(self, it: IterationStats, field: str) -> None:
-        self.it, self.field = it, field
-
-    def __enter__(self):
-        self.t0 = time.perf_counter()
-
-    def __exit__(self, *exc):
-        setattr(self.it, self.field, getattr(self.it, self.field) + time.perf_counter() - self.t0)
-
-
-def _traced_worker(comm: Communicator, *args, **kwargs):
-    traced = TracingCommunicator(comm)
-    modes, stats = distributed_worker(traced, *args, **kwargs)
-    return modes, stats, traced.trace
 
 
 def distributed_parallel(
@@ -255,7 +249,7 @@ def distributed_parallel(
     """Run the column-partitioned algorithm on ``n_ranks`` ranks."""
     ctx = RunContext.ensure(context, options=options)
     outs = run_spmd(
-        _traced_worker,
+        traced_worker(distributed_worker),
         n_ranks,
         backend=backend,
         args=(problem, ctx.options),

@@ -8,6 +8,7 @@ from repro.cluster.memory import (
     candidate_row_bytes,
     estimate_mode_bytes,
     predict_subset_peak_bytes,
+    streaming_chunk_pairs,
 )
 from repro.core.state import ModeMatrix
 from repro.errors import OutOfMemoryError
@@ -110,3 +111,112 @@ class TestPipelineAwarePrediction:
             assert predict_subset_peak_bytes(
                 reduced, spec, pair_chunk=4
             ) == deferred
+
+
+class TestStreamingChunkPairs:
+    def test_clamped_to_pair_chunk(self):
+        # A huge budget never enlarges the generation chunk beyond the
+        # batch path's pair_chunk.
+        assert streaming_chunk_pairs(32, 1 << 40, pair_chunk=128) == 128
+
+    def test_tiny_budget_floors_at_one_pair(self):
+        assert streaming_chunk_pairs(32, 1) == 1
+
+    def test_budget_scales_chunk(self):
+        small = streaming_chunk_pairs(64, 8 << 10, pair_chunk=1 << 20)
+        big = streaming_chunk_pairs(64, 128 << 10, pair_chunk=1 << 20)
+        assert 1 <= small < big
+
+    def test_auto_uses_capacity_over_default(self):
+        q, pc = 64, 1 << 20
+        capped = streaming_chunk_pairs(q, "auto", pair_chunk=pc,
+                                       capacity_bytes=1 << 20)
+        default = streaming_chunk_pairs(q, "auto", pair_chunk=pc)
+        assert capped < default  # (1 MiB)/8 budget vs the 16 MiB default
+
+    def test_deferred_pays_more_per_pair(self):
+        # Deferred's per-pair transient (dense row + mask + packed words)
+        # exceeds eager's (dense row only), so the same budget buys fewer
+        # pairs per chunk.
+        q, budget, pc = 64, 64 << 10, 1 << 20
+        assert streaming_chunk_pairs(
+            q, budget, pc, pipeline="deferred"
+        ) <= streaming_chunk_pairs(q, budget, pc, pipeline="eager")
+
+
+class TestStreamingAwarePrediction:
+    def test_streaming_prediction_at_most_batch(self):
+        from repro.dnc.subsets import enumerate_subsets
+        from repro.models.toy import toy_network
+        from repro.network.compression import compress_network
+
+        reduced = compress_network(toy_network()).reduced
+        for spec in enumerate_subsets(("r6r", "r8r")):
+            for pipeline in ("deferred", "eager"):
+                batch = predict_subset_peak_bytes(
+                    reduced, spec, candidate_pipeline=pipeline
+                )
+                streamed = predict_subset_peak_bytes(
+                    reduced, spec, candidate_pipeline=pipeline,
+                    iter_streaming="on", iter_chunk_bytes=4 << 10,
+                )
+                assert 0 <= streamed <= batch
+
+
+class TestPredictionUpperBoundsMeasuredPeak:
+    """Acceptance property: the a-priori prediction upper-bounds the
+    *measured* peak (working-factor-weighted mode storage plus the worst
+    iteration's retained-candidate + generation-transient bytes, straight
+    from the run stats) across streaming on/off, all pair strategies and
+    both candidate pipelines."""
+
+    WF = 1.5
+
+    @staticmethod
+    def _measured(stats, wf):
+        cand = max(
+            (it.candidate_bytes + it.prefilter_bytes for it in stats.iterations),
+            default=0,
+        )
+        return wf * stats.peak_mode_bytes + cand
+
+    @pytest.mark.parametrize("streaming", ["on", "off"])
+    @pytest.mark.parametrize("pipeline", ["deferred", "eager"])
+    @pytest.mark.parametrize("strategy", ["strided", "block", "tiled"])
+    def test_prediction_is_upper_bound(self, streaming, pipeline, strategy):
+        from repro.config import AlgorithmOptions
+        from repro.dnc.combined import solve_subset
+        from repro.dnc.subsets import enumerate_subsets
+        from repro.models.toy import toy_network
+        from repro.network.compression import compress_network
+
+        reduced = compress_network(toy_network()).reduced
+        opts = AlgorithmOptions(
+            candidate_pipeline=pipeline,
+            iter_streaming=streaming,
+            iter_chunk_bytes=(64 << 10) if streaming == "on" else "auto",
+            pair_chunk=64,
+        )
+        for spec in enumerate_subsets(("r6r", "r8r")):
+            predicted = predict_subset_peak_bytes(
+                reduced, spec,
+                working_factor=self.WF,
+                candidate_pipeline=pipeline,
+                pair_chunk=opts.pair_chunk,
+                pair_pruning=opts.pair_pruning,
+                iter_streaming=streaming,
+                iter_chunk_bytes=opts.iter_chunk_bytes,
+            )
+            res = solve_subset(
+                reduced, spec, 2, options=opts, pair_strategy=strategy
+            )
+            if res.stats is None:  # structurally empty subproblem
+                assert predicted == 0
+                continue
+            measured = max(self._measured(s, self.WF) for s in res.rank_stats)
+            assert measured > 0
+            assert predicted >= measured, (
+                f"{spec.label()}: predicted {predicted} < measured "
+                f"{measured:.0f} (streaming={streaming}, {pipeline}, "
+                f"{strategy})"
+            )

@@ -6,6 +6,7 @@ import pytest
 from repro.core.bittree import (
     AdjacencyTest,
     BitPatternTree,
+    SupportIndex,
     processed_rows_mask,
     subset_exists_vectorized,
 )
@@ -98,3 +99,56 @@ class TestAdjacencyTest:
         adj = AdjacencyTest(words, n_rows=8, k=3)
         unions = np.stack([words[0] | words[1], words[1] | words[2]])
         assert adj.adjacent(unions).shape == (2,)
+
+
+class TestSupportIndex:
+    def test_empty_index_sees_nothing(self):
+        idx = SupportIndex(1)
+        probe = _pack([{0}, {1, 2}], 8)
+        assert not idx.seen(probe).any()
+        assert len(idx) == 0
+        assert idx.n_probes == 2
+
+    def test_add_then_seen(self):
+        idx = SupportIndex(1)
+        words = _pack([{0, 1}, {2}], 8)
+        idx.add(words)
+        assert len(idx) == 2
+        probe = _pack([{0, 1}, {3}, {2}], 8)
+        assert idx.seen(probe).tolist() == [True, False, True]
+
+    def test_frozen_rows_probed_not_copied(self):
+        frozen = _pack([{4, 5}], 8)
+        idx = SupportIndex(1, frozen=frozen)
+        assert idx.frozen is frozen  # borrowed reference, no copy
+        probe = _pack([{4, 5}, {4}], 8)
+        assert idx.seen(probe).tolist() == [True, False]
+        # Frozen rows are charged to their owner (the mode matrix), not
+        # the index; before any add() the index owns no buffer at all.
+        assert idx.nbytes() == 0
+
+    def test_nbytes_tracks_buffer_capacity(self):
+        idx = SupportIndex(2)
+        idx.add(np.ones((1, 2), dtype=bitset.WORD))
+        # Geometric growth allocates capacity ahead of fill.
+        assert idx.nbytes() >= 1 * 2 * 8
+        cap_after_one = idx.nbytes()
+        idx.add(np.full((3, 2), 7, dtype=bitset.WORD))
+        assert len(idx) == 4
+        assert idx.nbytes() >= cap_after_one
+
+    def test_growth_preserves_earlier_rows(self):
+        idx = SupportIndex(1)
+        rng = np.random.default_rng(0)
+        all_rows = rng.integers(1, 2**20, size=(300, 1)).astype(bitset.WORD)
+        all_rows = np.unique(all_rows, axis=0)
+        for start in range(0, all_rows.shape[0], 37):
+            idx.add(all_rows[start : start + 37])
+        assert idx.seen(all_rows).all()
+        assert np.array_equal(idx.words, all_rows)
+
+    def test_add_empty_is_noop(self):
+        idx = SupportIndex(1)
+        idx.add(np.empty((0, 1), dtype=bitset.WORD))
+        assert len(idx) == 0
+        assert idx.nbytes() == 0

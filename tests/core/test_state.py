@@ -278,3 +278,44 @@ class TestCandidateBatch:
     def test_empty(self):
         e = CandidateBatch.empty(9)
         assert e.n_modes == 0 and e.q == 9 and e.nbytes() >= 0
+
+
+class TestDedupIndexAccounting:
+    """The streaming dedup index travels with its result object; memory
+    accounting must see it for as long as the candidates are alive."""
+
+    def _index(self, n_words, rows=4):
+        from repro.core.bittree import SupportIndex
+
+        idx = SupportIndex(n_words)
+        idx.add(np.arange(1, rows + 1, dtype=np.uint64).reshape(rows, 1)
+                if n_words == 1 else
+                np.arange(1, rows * n_words + 1, dtype=np.uint64)
+                .reshape(rows, n_words))
+        return idx
+
+    def test_mode_matrix_nbytes_includes_index(self):
+        m = ModeMatrix(np.eye(5))
+        base = m.nbytes()
+        m.dedup_index = self._index(m.supports.words.shape[1])
+        assert m.nbytes() == base + m.dedup_index.nbytes()
+        assert m.dedup_index.nbytes() > 0
+
+    def test_candidate_batch_nbytes_includes_index(self):
+        mask = np.zeros((3, 6), dtype=bool)
+        mask[:, 0] = True
+        batch = CandidateBatch(
+            PackedSupports.from_bool(mask.T),
+            np.array([0, 1, 2]), np.array([3, 4, 5]), 0,
+        )
+        base = batch.nbytes()
+        batch.dedup_index = self._index(batch.supports.words.shape[1])
+        assert batch.nbytes() == base + batch.dedup_index.nbytes()
+
+    def test_derived_matrices_drop_the_index(self):
+        # select/concat build new matrices for the *next* iteration — the
+        # finished iteration's streaming state must not be charged to them.
+        m = ModeMatrix(np.eye(4))
+        m.dedup_index = self._index(m.supports.words.shape[1])
+        assert m.select(np.array([0, 1])).dedup_index is None
+        assert m.concat(ModeMatrix(np.eye(4))).dedup_index is None

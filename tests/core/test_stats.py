@@ -72,3 +72,39 @@ class TestPhaseTimer:
         with PhaseTimer(it, "t_gen_cand"):
             time.sleep(0.01)
         assert it.t_gen_cand >= 0.02
+
+
+class TestStreamingCounters:
+    def _iter(self, chunks, peak, probes):
+        return IterationStats(
+            position=0, reaction="r", reversible=False,
+            n_chunks=chunks, peak_chunk_bytes=peak, n_dedup_probes=probes,
+        )
+
+    def test_merged_with_semantics(self):
+        a, b = RunStats(), RunStats()
+        a.add(self._iter(3, 1000, 50))
+        b.add(self._iter(2, 4000, 30))
+        it = a.merged_with(b).iterations[0]
+        assert it.n_chunks == 5  # counters sum across ranks
+        assert it.peak_chunk_bytes == 4000  # peaks take the max
+        assert it.n_dedup_probes == 80
+
+    def test_run_totals(self):
+        stats = RunStats()
+        stats.add(self._iter(3, 1000, 50))
+        stats.add(self._iter(4, 2000, 60))
+        assert stats.total_stream_chunks == 7
+        assert stats.total_dedup_probes == 110
+        assert stats.peak_stream_chunk_bytes == 2000
+
+    def test_csv_round_trip(self):
+        from repro.bench.export import dumps_stats, load_stats_rows
+        import io
+
+        stats = RunStats()
+        stats.add(self._iter(3, 1000, 50))
+        rows = load_stats_rows(io.StringIO(dumps_stats(stats)))
+        assert rows[0]["n_chunks"] == 3
+        assert rows[0]["peak_chunk_bytes"] == 1000
+        assert rows[0]["n_dedup_probes"] == 50
