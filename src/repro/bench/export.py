@@ -35,6 +35,9 @@ ITERATION_COLUMNS = (
     "n_rank_cache_hits",
     "n_rank_batches",
     "rank_batch_max",
+    "n_rank_modular",
+    "n_rank_fallback",
+    "n_prefix_reused_cols",
     "candidate_bytes",
     "prefilter_bytes",
     "n_chunks",

@@ -160,6 +160,29 @@ def streaming_chunk_pairs(
     return max(1, min(int(pair_chunk), budget // per_pair))
 
 
+def modular_workset_bytes(q: int, rank: int, batch: int) -> int:
+    """Transient working-set bytes of one modular rank-kernel batch
+    (:mod:`repro.linalg.modular`).
+
+    The kernel answers nullity queries in complement form against a
+    ``(d, q)`` basis panel, ``d = q - rank``: per batch it holds the
+    gathered complement stack plus one transposed elimination copy
+    (``batch * d * w`` float64 each, ``w ≈ d`` complement members after
+    padding), the phase-A class snapshots (bounded by the per-candidate
+    states), the padded member-index matrix, and the basis panel with one
+    residue image.  Small next to the mode matrix, but the scheduler's
+    admission model should still see it.
+    """
+    d = max(1, int(q) - int(rank))
+    w = d + 1  # padded complement width: |S̄| ≤ d - 1, plus slack
+    b = max(0, int(batch))
+    stack = b * d * w * 8 * 2  # gathered stack + transposed copy
+    snapshots = b * d * q * 8  # phase-A class states, ≤ one per candidate
+    indices = b * w * 8
+    basis = d * q * 8 * 2  # float panel + one residue image
+    return stack + snapshots + indices + basis
+
+
 def zone_map_bytes(n_pos: int, n_neg: int, q: int, block: int) -> int:
     """Bytes of the pair-space zone maps (:mod:`repro.core.pairspace`):
     per-block AND/OR words and min popcounts on each side, plus the
@@ -199,6 +222,7 @@ def predict_subset_peak_bytes(
     pair_block: int = 8,
     iter_streaming: str = "off",
     iter_chunk_bytes: int | str = "auto",
+    rank_backend: str = "modular",
 ) -> int:
     """A-priori peak-footprint prediction for one divide-and-conquer
     subproblem, before its kernel is built.
@@ -223,6 +247,10 @@ def predict_subset_peak_bytes(
     generation working set (:func:`prefilter_working_bytes`, bounded by
     ``pair_chunk`` and the predicted pair count) and, with
     ``pair_pruning="tiles"``, the zone maps (:func:`zone_map_bytes`).
+
+    With ``rank_backend="modular"`` the residue-field kernel's per-batch
+    working set (:func:`modular_workset_bytes`) is charged on top of the
+    candidate transients.
 
     With ``iter_streaming="on"`` the generation chunk shrinks to the
     streaming budget (:func:`streaming_chunk_pairs`, never larger than
@@ -270,6 +298,10 @@ def predict_subset_peak_bytes(
         cand_bytes += zone_map_bytes(
             peak_modes // 2, peak_modes - peak_modes // 2, q_work, pair_block
         )
+    if rank_backend == "modular":
+        # The residue-field kernel's per-batch working set; batches are at
+        # most the surviving candidate count, surrogated by the peak modes.
+        cand_bytes += modular_workset_bytes(q_work, rank, peak_modes)
     return int(
         working_factor * estimate_mode_bytes(peak_modes, q_work) + cand_bytes
     )

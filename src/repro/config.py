@@ -27,7 +27,7 @@ DEFAULT_PAIR_CHUNK: int = 65536
 Arithmetic = Literal["float", "exact"]
 AcceptanceTest = Literal["rank", "bittree", "both"]
 OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
-RankBackend = Literal["batched", "loop"]
+RankBackend = Literal["modular", "batched", "loop"]
 CandidatePipeline = Literal["deferred", "eager"]
 PairPruning = Literal["tiles", "none"]
 WireProtocol = Literal["typed", "pickle"]
@@ -72,6 +72,13 @@ def _default_iter_chunk_bytes() -> int | str:
     streaming_chunk_pairs`)."""
     val = os.environ.get("REPRO_ITER_CHUNK_BYTES", "auto")
     return val if val == "auto" else int(val)
+
+
+def _default_rank_backend() -> str:
+    """Session-wide rank-backend default, overridable via the environment
+    so a whole test run can be flipped to the SVD engines (the CI
+    ``rank-backend`` legs set ``REPRO_RANK_BACKEND=batched`` / ``=loop``)."""
+    return os.environ.get("REPRO_RANK_BACKEND", "modular")
 
 
 def _default_pair_pruning() -> str:
@@ -127,12 +134,18 @@ class AlgorithmOptions:
         ``"bittree"`` superset test, or ``"both"`` (cross-checking; testing
         aid).
     rank_backend:
-        Engine computing the algebraic rank test: ``"batched"`` (default)
-        buckets candidates by support size and decomposes each bucket with
-        one gufunc-batched SVD call, memoizing support-pattern ranks across
-        iterations and divide-and-conquer subproblems; ``"loop"`` is the
+        Engine computing the algebraic rank test: ``"modular"`` (default)
+        rescales the stoichiometry to exact integers once per problem and
+        answers batch nullity queries by certified fraction-free
+        elimination over a gcd-reduced integer kernel basis, with
+        elimination-prefix reuse across lexsorted supports and automatic
+        residue-field / SVD escalation (:mod:`repro.linalg.modular`);
+        ``"batched"`` buckets candidates by support size and decomposes
+        each bucket with one gufunc-batched SVD call; ``"loop"`` is the
         reference one-SVD-per-candidate path (parity testing, benchmark
-        baseline).  Both produce identical acceptance decisions.
+        baseline).  All three share the support-pattern rank memo and
+        produce identical acceptance decisions.  The default follows
+        ``REPRO_RANK_BACKEND``.
     candidate_pipeline:
         How candidate modes travel between generation and acceptance.
         ``"deferred"`` (default) is the support-first pipeline: generation
@@ -202,7 +215,9 @@ class AlgorithmOptions:
 
     arithmetic: Arithmetic = "float"
     acceptance: AcceptanceTest = "rank"
-    rank_backend: RankBackend = "batched"
+    rank_backend: RankBackend = dataclasses.field(
+        default_factory=_default_rank_backend
+    )
     candidate_pipeline: CandidatePipeline = dataclasses.field(
         default_factory=_default_candidate_pipeline
     )
@@ -231,7 +246,7 @@ class AlgorithmOptions:
             raise ValueError(f"unknown arithmetic {self.arithmetic!r}")
         if self.acceptance not in ("rank", "bittree", "both"):
             raise ValueError(f"unknown acceptance test {self.acceptance!r}")
-        if self.rank_backend not in ("batched", "loop"):
+        if self.rank_backend not in ("modular", "batched", "loop"):
             raise ValueError(f"unknown rank backend {self.rank_backend!r}")
         if self.candidate_pipeline not in ("deferred", "eager"):
             raise ValueError(

@@ -8,9 +8,17 @@ inside ``S``.  Nullity 0 cannot happen for a candidate (the candidate
 itself is a witness); nullity >= 2 means a smaller-support solution exists
 and the candidate is rejected.
 
-Two backends compute the ranks:
+Three backends compute the ranks:
 
-``"batched"`` (default)
+``"modular"`` (default)
+    The residue-field engine in :mod:`repro.linalg.modular`: the
+    stoichiometry is rescaled to exact integers once per problem, the
+    nullity query is rewritten in complement form against a gcd-reduced
+    integer kernel basis, and batch ranks come from certified fraction-free
+    elimination with an elimination-prefix reuse layer (mod-``p`` and SVD
+    escalation for the rare stacks the exact arm cannot certify; wholesale
+    SVD fallback for problems whose entries are not safely rational).
+``"batched"``
     The engine in :mod:`repro.linalg.batched`: candidates are bucketed by
     support size, each bucket's submatrices are gathered into one 3-D
     stack and decomposed by a single gufunc-batched SVD call, and an
@@ -22,9 +30,9 @@ Two backends compute the ranks:
     :func:`~repro.linalg.numeric.numeric_rank` call per candidate.  Kept
     for parity testing and benchmarking.
 
-Both backends see only candidates that survive summary rejection — the
-packed supports are unpacked solely for those survivors, never for the
-full batch.
+All backends share the support-pattern rank memo and see only candidates
+that survive summary rejection — the packed supports are unpacked solely
+for those survivors, never for the full batch.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.errors import AlgorithmError
 from repro.linalg import rational
 from repro.linalg.batched import CacheBinding, bucketed_ranks
 from repro.linalg.bitset import unpack_supports
+from repro.linalg.modular import modular_ranks
 from repro.linalg.numeric import numeric_rank
 
 
@@ -68,10 +77,11 @@ def rank_test(
         When given (exact-arithmetic runs), rank is computed over
         Fractions on the same column selection instead of by SVD.
     backend:
-        ``"batched"`` (bucketed gufunc SVD + memo) or ``"loop"`` (one SVD
-        per candidate) — see the module docstring.
+        ``"modular"`` (residue-field kernel + memo), ``"batched"``
+        (bucketed gufunc SVD + memo) or ``"loop"`` (one SVD per candidate)
+        — see the module docstring.
     cache:
-        Optional problem-bound rank memo (batched backend only).
+        Optional problem-bound rank memo (modular and batched backends).
     stats:
         Optional :class:`~repro.core.stats.IterationStats` receiving the
         engine's cache-hit and batch counters.
@@ -104,6 +114,19 @@ def rank_test(
             else:
                 r = numeric_rank(n_perm[:, cols], policy)
             accept[c] = (int(surv_sizes[pos]) - r) == 1
+        return accept
+    if backend == "modular":
+        ranks = modular_ranks(
+            n_perm,
+            support_mask,
+            surv_sizes,
+            policy=policy,
+            n_exact=n_exact,
+            words=words,
+            cache=cache,
+            stats=stats,
+        )
+        accept[idx] = (surv_sizes - ranks) == 1
         return accept
     if backend != "batched":
         raise AlgorithmError(f"unknown rank-test backend {backend!r}")

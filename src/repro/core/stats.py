@@ -45,12 +45,23 @@ class IterationStats:
     #: candidates submitted to the acceptance (rank / bittree) test.
     n_tested: int = 0
     n_accepted: int = 0
-    #: rank tests answered from the support-pattern memo (batched backend).
+    #: rank tests answered from the support-pattern memo (memo-capable
+    #: backends: modular, batched).
     n_rank_cache_hits: int = 0
-    #: batched LAPACK calls issued (one per non-empty miss bucket).
+    #: batched kernel/LAPACK calls issued (one per non-empty miss bucket on
+    #: the batched backend, one per merged miss stack on the modular one).
     n_rank_batches: int = 0
-    #: largest single batch handed to the batched decomposition.
+    #: largest single batch handed to a rank kernel.
     rank_batch_max: int = 0
+    #: rank tests certified by the modular residue-field kernel (exact
+    #: fraction-free or mod-p arms; rank_backend="modular").
+    n_rank_modular: int = 0
+    #: rank tests the modular backend handed to the SVD engine instead —
+    #: non-rational problems, unverifiable kernels, prime disagreements.
+    n_rank_fallback: int = 0
+    #: complement member-columns served from elimination-prefix snapshots
+    #: instead of re-eliminated (the prefix-reuse layer's work saving).
+    n_prefix_reused_cols: int = 0
     #: retained candidate-set footprint after generation (bytes): dense
     #: values + supports on the eager pipeline, packed supports + pair
     #: indices on the deferred one.  Transient per-chunk buffers are
@@ -140,6 +151,21 @@ class RunStats:
     @property
     def total_rank_batches(self) -> int:
         return sum(it.n_rank_batches for it in self.iterations)
+
+    @property
+    def total_rank_modular(self) -> int:
+        """Rank tests certified by the modular residue-field kernel."""
+        return sum(it.n_rank_modular for it in self.iterations)
+
+    @property
+    def total_rank_fallback(self) -> int:
+        """Rank tests the modular backend escalated to the SVD engine."""
+        return sum(it.n_rank_fallback for it in self.iterations)
+
+    @property
+    def total_prefix_reused_cols(self) -> int:
+        """Member-columns served from elimination-prefix snapshots."""
+        return sum(it.n_prefix_reused_cols for it in self.iterations)
 
     @property
     def t_gen_cand(self) -> float:
@@ -237,6 +263,11 @@ class RunStats:
                     n_rank_cache_hits=a.n_rank_cache_hits + b.n_rank_cache_hits,
                     n_rank_batches=a.n_rank_batches + b.n_rank_batches,
                     rank_batch_max=max(a.rank_batch_max, b.rank_batch_max),
+                    n_rank_modular=a.n_rank_modular + b.n_rank_modular,
+                    n_rank_fallback=a.n_rank_fallback + b.n_rank_fallback,
+                    n_prefix_reused_cols=(
+                        a.n_prefix_reused_cols + b.n_prefix_reused_cols
+                    ),
                     candidate_bytes=max(a.candidate_bytes, b.candidate_bytes),
                     prefilter_bytes=max(a.prefilter_bytes, b.prefilter_bytes),
                     n_chunks=a.n_chunks + b.n_chunks,

@@ -144,9 +144,12 @@ def shared_rank_cache(
     Compatibility accessor; the canonical home of this wiring is
     :meth:`repro.engine.context.RunContext.bind_shared_rank_memo`, which
     every engine-driven run uses.  Returns ``(cache, token)`` or ``None``
-    when the batched backend is off.
+    when no memo-capable backend (batched, modular) is on.
     """
-    if options.rank_backend != "batched" or options.acceptance == "bittree":
+    if (
+        options.rank_backend not in ("batched", "modular")
+        or options.acceptance == "bittree"
+    ):
         return None
     token = problem_token(
         stoichiometric_matrix(reduced),

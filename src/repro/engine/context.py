@@ -132,7 +132,8 @@ class RunContext:
         combinatorial, distributed, checkpointed and divide-and-conquer
         drivers.  Three regimes:
 
-        * the loop backend and pure-bittree runs take no cache (``None``);
+        * the loop backend and pure-bittree runs take no cache (``None``;
+          the modular and batched backends share one memo format);
         * with :attr:`shared_rank_memo` bound (divide-and-conquer), the
           binding addresses the run-wide memo through ``col_ids`` — the
           mapping from the problem's permuted columns to canonical
@@ -146,7 +147,10 @@ class RunContext:
         that combination the binding quietly degrades to a fresh private
         memo.
         """
-        if self.options.rank_backend != "batched" or self.options.acceptance == "bittree":
+        if (
+            self.options.rank_backend not in ("batched", "modular")
+            or self.options.acceptance == "bittree"
+        ):
             return None
         if self.shared_rank_memo is not None and col_ids is not None:
             cache, token = self.shared_rank_memo
@@ -165,12 +169,16 @@ class RunContext:
         the rank of a submatrix depends only on which reduced-network
         columns the support selects — disjoint subsets repeatedly test
         overlapping supports of the same matrix, and Algorithm 3's
-        redundancy becomes cache hits.  No-op when the batched backend is
-        off (then :meth:`rank_binding_for` returns ``None`` anyway).
+        redundancy becomes cache hits.  No-op when neither memo-capable
+        backend (batched, modular) is on (then :meth:`rank_binding_for`
+        returns ``None`` anyway).
         """
         from repro.network.stoichiometry import stoichiometric_matrix  # noqa: PLC0415
 
-        if self.options.rank_backend != "batched" or self.options.acceptance == "bittree":
+        if (
+            self.options.rank_backend not in ("batched", "modular")
+            or self.options.acceptance == "bittree"
+        ):
             self.shared_rank_memo = None
             return
         token = problem_token(

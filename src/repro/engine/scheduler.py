@@ -169,6 +169,7 @@ class SubproblemScheduler:
                     pair_pruning=self.context.options.pair_pruning,
                     iter_streaming=self.context.options.iter_streaming,
                     iter_chunk_bytes=self.context.options.iter_chunk_bytes,
+                    rank_backend=self.context.options.rank_backend,
                 ),
             )
             for i, spec in enumerate(self.specs)

@@ -47,9 +47,13 @@ class RankCache:
     """Support-pattern → rank memo shared across iterations and problems.
 
     Keys are ``(token, column-set bytes)`` tuples produced by a
-    :class:`CacheBinding`; values are integer ranks.  The cache is a plain
-    dict: lookups and inserts are GIL-atomic, so concurrent thread-backend
-    ranks can share one instance (a lost insert merely costs a recompute).
+    :class:`CacheBinding`; values are ``(rank, tag)`` pairs, the tag naming
+    the backend that certified the rank (``"batched"``, ``"exact"``,
+    ``"modular"``).  Rank is backend-agnostic — a pure function of the
+    column selection — so any backend may consume any entry; the tag exists
+    for diagnostics and tests.  The cache is a plain dict: lookups and
+    inserts are GIL-atomic, so concurrent thread-backend ranks can share
+    one instance (a lost insert merely costs a recompute).
     """
 
     __slots__ = ("_table", "capacity", "hits", "misses")
@@ -64,16 +68,16 @@ class RankCache:
         return len(self._table)
 
     def lookup(self, key) -> int | None:
-        rank = self._table.get(key)
-        if rank is None:
+        entry = self._table.get(key)
+        if entry is None:
             self.misses += 1
-        else:
-            self.hits += 1
-        return rank
+            return None
+        self.hits += 1
+        return entry[0]
 
-    def store(self, key, rank: int) -> None:
+    def store(self, key, rank: int, tag: str = "batched") -> None:
         if len(self._table) < self.capacity:
-            self._table[key] = rank
+            self._table[key] = (rank, tag)
 
 
 class CacheBinding:
@@ -92,7 +96,7 @@ class CacheBinding:
     whole bucket where per-row ``np.unique`` cannot.
     """
 
-    __slots__ = ("cache", "token", "col_ids")
+    __slots__ = ("cache", "token", "col_ids", "col_perm", "col_ids_sorted")
 
     def __init__(
         self,
@@ -103,6 +107,16 @@ class CacheBinding:
         self.cache = cache
         self.token = token
         self.col_ids = None if col_ids is None else np.asarray(col_ids, dtype=np.int64)
+        # Ascending-id column permutation: selecting support columns in
+        # this order yields each candidate's canonical ids already sorted,
+        # so whole-call key passes need no per-row sort (stable, so
+        # duplicated split-column ids keep their multiset bytes).
+        if self.col_ids is None:
+            self.col_perm = None
+            self.col_ids_sorted = None
+        else:
+            self.col_perm = np.argsort(self.col_ids, kind="stable")
+            self.col_ids_sorted = np.ascontiguousarray(self.col_ids[self.col_perm])
 
     def keys(self, words: np.ndarray, cols: np.ndarray) -> list[bytes]:
         """One hashable key per candidate of a bucket.
@@ -135,6 +149,65 @@ def problem_token(
     h.update(np.ascontiguousarray(n_perm, dtype=np.float64).tobytes())
     h.update(repr((n_perm.shape, policy.rank_tol, bool(exact))).encode())
     return h.digest()
+
+
+def iter_size_buckets(
+    support_mask: np.ndarray,
+    sizes: np.ndarray,
+    *,
+    words: np.ndarray | None = None,
+    cache: CacheBinding | None = None,
+    mask_t: np.ndarray | None = None,
+):
+    """Yield ``(b_idx, cols, keys)`` per support-size bucket.
+
+    The shared front half of every rank backend: candidates grouped by
+    support size (equal-``s`` column-index matrices gather contiguously),
+    with per-candidate cache keys computed bucket-at-a-time when a memo is
+    bound (``keys is None`` otherwise).  ``mask_t`` lets callers reuse an
+    already-transposed ``(n, q)`` mask.
+    """
+    n = int(sizes.size)
+    if mask_t is None:
+        mask_t = np.ascontiguousarray(support_mask.T)  # (n, q)
+    order = np.argsort(sizes, kind="stable")
+    sorted_sizes = sizes[order]
+    # Bucket boundaries: runs of equal support size in the sorted order.
+    boundaries = np.nonzero(np.diff(sorted_sizes))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [n]])
+    for b0, b1 in zip(starts, stops):
+        b_idx = order[b0:b1]
+        s = int(sorted_sizes[b0])
+        # np.nonzero walks the (n_bucket, q) block row-major, so indices
+        # come out grouped per candidate, ascending — ready to reshape.
+        cols = np.nonzero(mask_t[b_idx])[1].reshape(b_idx.size, s)
+        keys = None
+        if cache is not None:
+            keys = cache.keys(words[b_idx] if words is not None else None, cols)
+        yield b_idx, cols, keys
+
+
+def split_cache_hits(
+    cache: CacheBinding, keys: list, b_idx: np.ndarray, ranks: np.ndarray, stats=None
+) -> list[int]:
+    """Fill cache-hit ranks of one bucket in place; return miss positions.
+
+    Inlined bulk lookup: one dict ``.get`` per key, counters updated once
+    per bucket (``RankCache.lookup`` would cost a Python call and two
+    counter increments per candidate).
+    """
+    table = cache.cache._table
+    found = [table.get(key) for key in keys]
+    miss_pos = [j for j, v in enumerate(found) if v is None]
+    n_hits = b_idx.size - len(miss_pos)
+    cache.cache.hits += n_hits
+    cache.cache.misses += len(miss_pos)
+    if stats is not None:
+        stats.n_rank_cache_hits += n_hits
+    if n_hits:
+        ranks[b_idx] = [0 if v is None else v[0] for v in found]
+    return miss_pos
 
 
 def batched_ranks(
@@ -216,50 +289,22 @@ def bucketed_ranks(
     if cache is not None and cache.col_ids is None and words is None:
         raise LinAlgError("packed-key cache binding requires support words")
 
-    mask_t = np.ascontiguousarray(support_mask.T)  # (n, q)
-    order = np.argsort(sizes, kind="stable")
-    sorted_sizes = sizes[order]
-    # Bucket boundaries: runs of equal support size in the sorted order.
-    boundaries = np.nonzero(np.diff(sorted_sizes))[0] + 1
-    starts = np.concatenate([[0], boundaries])
-    stops = np.concatenate([boundaries, [n]])
-
-    for b0, b1 in zip(starts, stops):
-        b_idx = order[b0:b1]
-        s = int(sorted_sizes[b0])
-        # np.nonzero walks the (n_bucket, q) block row-major, so indices
-        # come out grouped per candidate, ascending — ready to reshape.
-        cols = np.nonzero(mask_t[b_idx])[1].reshape(b_idx.size, s)
-
-        if cache is not None:
-            keys = cache.keys(
-                words[b_idx] if words is not None else None, cols
-            )
-            # Inlined bulk lookup: one dict .get per key, counters updated
-            # once per bucket (RankCache.lookup would cost a Python call
-            # and two counter increments per candidate).
-            table = cache.cache._table
-            found = [table.get(key) for key in keys]
-            miss_pos = [j for j, r in enumerate(found) if r is None]
-            n_hits = b_idx.size - len(miss_pos)
-            cache.cache.hits += n_hits
-            cache.cache.misses += len(miss_pos)
-            if stats is not None:
-                stats.n_rank_cache_hits += n_hits
-            if n_hits:
-                ranks[b_idx] = [0 if r is None else r for r in found]
-            if not miss_pos:
-                continue
-            miss = np.asarray(miss_pos, dtype=np.intp)
-            miss_ranks = _compute_bucket(
-                n_perm, cols[miss], policy, n_exact, stats
-            )
-            store = cache.cache.store
-            for j, r in zip(miss_pos, miss_ranks.tolist()):
-                store(keys[j], r)
-            ranks[b_idx[miss]] = miss_ranks
-        else:
+    tag = "exact" if n_exact is not None else "batched"
+    for b_idx, cols, keys in iter_size_buckets(
+        support_mask, sizes, words=words, cache=cache
+    ):
+        if keys is None:
             ranks[b_idx] = _compute_bucket(n_perm, cols, policy, n_exact, stats)
+            continue
+        miss_pos = split_cache_hits(cache, keys, b_idx, ranks, stats)
+        if not miss_pos:
+            continue
+        miss = np.asarray(miss_pos, dtype=np.intp)
+        miss_ranks = _compute_bucket(n_perm, cols[miss], policy, n_exact, stats)
+        store = cache.cache.store
+        for j, r in zip(miss_pos, miss_ranks.tolist()):
+            store(keys[j], r, tag)
+        ranks[b_idx[miss]] = miss_ranks
     return ranks
 
 

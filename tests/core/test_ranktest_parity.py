@@ -1,10 +1,12 @@
-"""Parity suite: the batched rank-test engine vs. the loop reference.
+"""Parity suite: the batched and modular rank-test engines vs. the loop
+reference.
 
-The batched backend must be a pure optimization — decision-for-decision
-identical to the per-candidate loop on every input: random networks,
-float and exact policies, reversible and irreversible rows, degenerate
-buckets, cold and warm caches, and across divide-and-conquer subproblems
-sharing one memo.
+Both accelerated backends must be pure optimizations —
+decision-for-decision identical to the per-candidate loop on every
+input: random networks, float and exact policies, reversible and
+irreversible rows, degenerate buckets, cold and warm caches, across
+divide-and-conquer subproblems sharing one memo, and across the full
+pipeline x streaming x pair-strategy option matrix.
 """
 
 from __future__ import annotations
@@ -77,10 +79,11 @@ class TestFloatParity:
         by_loop = rank_test(
             cand, problem.n_perm, problem.rank, backend="loop"
         )
-        by_batched = rank_test(
-            cand, problem.n_perm, problem.rank, backend="batched"
-        )
-        assert np.array_equal(by_loop, by_batched)
+        for backend in ("batched", "modular"):
+            mask = rank_test(
+                cand, problem.n_perm, problem.rank, backend=backend
+            )
+            assert np.array_equal(by_loop, mask), backend
 
     @pytest.mark.parametrize("seed", range(12))
     def test_masks_bit_identical_with_cache(self, seed):
@@ -89,18 +92,46 @@ class TestFloatParity:
         by_loop = rank_test(
             cand, problem.n_perm, problem.rank, backend="loop"
         )
+        for backend in ("batched", "modular"):
+            binding = CacheBinding(
+                RankCache(),
+                problem_token(problem.n_perm, DEFAULT_POLICY, False),
+            )
+            cold = rank_test(
+                cand, problem.n_perm, problem.rank,
+                backend=backend, cache=binding,
+            )
+            warm = rank_test(
+                cand, problem.n_perm, problem.rank,
+                backend=backend, cache=binding,
+            )
+            assert np.array_equal(by_loop, cold), backend
+            assert np.array_equal(by_loop, warm), backend
+            # Second pass served from the memo.
+            assert binding.cache.hits > 0, backend
+
+    def test_modular_hits_entries_stored_by_batched(self):
+        """The memo is backend-agnostic: entries certified by one backend
+        must serve lookups from the other (same keys, same ranks)."""
+        problem = _problem_for(5)
+        cand = _candidate_batch(problem, 5)
         binding = CacheBinding(
             RankCache(), problem_token(problem.n_perm, DEFAULT_POLICY, False)
         )
-        cold = rank_test(
-            cand, problem.n_perm, problem.rank, backend="batched", cache=binding
+        by_batched = rank_test(
+            cand, problem.n_perm, problem.rank,
+            backend="batched", cache=binding,
         )
-        warm = rank_test(
-            cand, problem.n_perm, problem.rank, backend="batched", cache=binding
+        misses_before = binding.cache.misses
+        by_modular = rank_test(
+            cand, problem.n_perm, problem.rank,
+            backend="modular", cache=binding,
         )
-        assert np.array_equal(by_loop, cold)
-        assert np.array_equal(by_loop, warm)
-        assert binding.cache.hits > 0  # second pass served from the memo
+        assert np.array_equal(by_batched, by_modular)
+        assert binding.cache.misses == misses_before  # every lookup hit
+        assert {tag for _, tag in binding.cache._table.values()} == {
+            "batched"
+        }
 
     def test_stats_counters_populated(self):
         problem = _problem_for(3)
@@ -139,14 +170,15 @@ class TestExactParity:
         by_loop = rank_test(
             cand, problem.n_perm, problem.rank, n_exact=n_exact, backend="loop"
         )
-        by_batched = rank_test(
-            cand,
-            problem.n_perm,
-            problem.rank,
-            n_exact=n_exact,
-            backend="batched",
-        )
-        assert np.array_equal(by_loop, by_batched)
+        for backend in ("batched", "modular"):
+            mask = rank_test(
+                cand,
+                problem.n_perm,
+                problem.rank,
+                n_exact=n_exact,
+                backend=backend,
+            )
+            assert np.array_equal(by_loop, mask), backend
 
     def test_exact_cache_hits_agree(self):
         problem = _problem_for(1)
@@ -178,7 +210,7 @@ class TestExactParity:
 class TestDegenerateBuckets:
     def test_empty_batch(self, toy_problem):
         cand = ModeMatrix.empty(toy_problem.q)
-        for backend in ("loop", "batched"):
+        for backend in ("loop", "batched", "modular"):
             mask = rank_test(
                 cand, toy_problem.n_perm, toy_problem.rank, backend=backend
             )
@@ -186,7 +218,7 @@ class TestDegenerateBuckets:
 
     def test_zero_support_row(self, toy_problem):
         cand = ModeMatrix(np.zeros((2, toy_problem.q)))
-        for backend in ("loop", "batched"):
+        for backend in ("loop", "batched", "modular"):
             mask = rank_test(
                 cand, toy_problem.n_perm, toy_problem.rank, backend=backend
             )
@@ -210,7 +242,7 @@ class TestDegenerateBuckets:
 
     def test_single_candidate_bucket(self, toy_problem):
         cand = ModeMatrix(np.array([[0, 2, 0, 1, 0, 0, 0, -1]], dtype=float))
-        for backend in ("loop", "batched"):
+        for backend in ("loop", "batched", "modular"):
             assert rank_test(
                 cand, toy_problem.n_perm, toy_problem.rank, backend=backend
             )[0]
@@ -302,18 +334,25 @@ class TestDnCSharedCache:
             reduced, 2, method="tail", options=AlgorithmOptions()
         )
         runs = {}
-        for backend in ("loop", "batched"):
+        for backend in ("loop", "batched", "modular"):
             runs[backend] = combined_parallel(
                 reduced, part, 1, options=AlgorithmOptions(rank_backend=backend)
             )
-        assert runs["loop"].n_efms == runs["batched"].n_efms
-        assert_same_modes(runs["loop"].efms(), runs["batched"].efms())
-        hits = sum(
-            s.stats.total_rank_cache_hits
-            for s in runs["batched"].subsets
+        for backend in ("batched", "modular"):
+            assert runs["loop"].n_efms == runs[backend].n_efms, backend
+            assert_same_modes(runs["loop"].efms(), runs[backend].efms())
+            hits = sum(
+                s.stats.total_rank_cache_hits
+                for s in runs[backend].subsets
+                if s.stats is not None
+            )
+            assert hits > 0, backend
+        reused = sum(
+            s.stats.total_prefix_reused_cols
+            for s in runs["modular"].subsets
             if s.stats is not None
         )
-        assert hits > 0
+        assert reused > 0  # elimination-prefix sharing actually engaged
 
     def test_shared_cache_off_for_loop_backend(self):
         net = get_network("toy")
@@ -322,14 +361,16 @@ class TestDnCSharedCache:
             shared_rank_cache(reduced, AlgorithmOptions(rank_backend="loop"))
             is None
         )
-        memo = shared_rank_cache(reduced, AlgorithmOptions())
+        memo = shared_rank_cache(
+            reduced, AlgorithmOptions(rank_backend="modular")
+        )
         assert memo is not None and isinstance(memo[0], RankCache)
 
 
 class TestRegistryEquivalence:
-    """Identical EFM sets from both backends on the registry workloads
-    that finish at test speed (the medium variants run in the benchmark
-    suite, same assertion)."""
+    """Identical EFM sets from all three backends on the registry
+    workloads that finish at test speed (the medium variants run in the
+    benchmark suite, same assertion)."""
 
     @pytest.mark.parametrize(
         "name", ["toy", "yeast-I-small", "yeast-II-small"]
@@ -338,19 +379,47 @@ class TestRegistryEquivalence:
         net = get_network(name)
         results = {
             be: compute_efms(net, options=AlgorithmOptions(rank_backend=be))
-            for be in ("loop", "batched")
+            for be in ("loop", "batched", "modular")
         }
-        assert results["loop"].n_efms == results["batched"].n_efms
-        assert results["loop"].same_modes_as(results["batched"])
+        for be in ("batched", "modular"):
+            assert results["loop"].n_efms == results[be].n_efms, be
+            assert results["loop"].same_modes_as(results[be]), be
 
+    @pytest.mark.parametrize("backend", ["batched", "modular"])
     @pytest.mark.parametrize("method", ["serial", "parallel", "distributed"])
-    def test_methods_agree_batched(self, method):
+    def test_methods_agree(self, method, backend):
         net = get_network("yeast-I-small")
         kwargs = {} if method == "serial" else {"n_ranks": 2}
         res = compute_efms(
             net,
             method=method,
-            options=AlgorithmOptions(rank_backend="batched"),
+            options=AlgorithmOptions(rank_backend=backend),
             **kwargs,
         )
         assert res.n_efms == 530
+
+
+class TestOptionMatrixParity:
+    """The 530-EFM yeast-I-small pin must hold for every backend across
+    the candidate-pipeline x streaming x pair-pruning option matrix, with
+    all three backends producing the same mode set per combination."""
+
+    @pytest.mark.parametrize("pair_pruning", ["tiles", "none"])
+    @pytest.mark.parametrize("iter_streaming", ["on", "off"])
+    @pytest.mark.parametrize("candidate_pipeline", ["deferred", "eager"])
+    def test_yeast_pin_across_backends(
+        self, candidate_pipeline, iter_streaming, pair_pruning
+    ):
+        net = get_network("yeast-I-small")
+        results = {}
+        for be in ("loop", "batched", "modular"):
+            opts = AlgorithmOptions(
+                rank_backend=be,
+                candidate_pipeline=candidate_pipeline,
+                iter_streaming=iter_streaming,
+                pair_pruning=pair_pruning,
+            )
+            results[be] = compute_efms(net, options=opts)
+            assert results[be].n_efms == 530, be
+        for be in ("batched", "modular"):
+            assert results["loop"].same_modes_as(results[be]), be

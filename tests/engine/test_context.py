@@ -47,7 +47,9 @@ class TestRankBindingFor:
         assert ctx.rank_binding_for(toy_problem) is None
 
     def test_default_gets_fresh_private_binding(self, toy_problem):
-        ctx = RunContext()
+        # Pin a caching backend: the env-sensitive default may be "loop"
+        # on the loop CI leg, which legitimately gets no binding at all.
+        ctx = RunContext(options=AlgorithmOptions(rank_backend="modular"))
         a = ctx.rank_binding_for(toy_problem)
         b = ctx.rank_binding_for(toy_problem)
         assert isinstance(a, CacheBinding)
@@ -55,7 +57,7 @@ class TestRankBindingFor:
         assert a.cache is not b.cache
 
     def test_shared_memo_used_with_col_ids(self, toy_record, toy_problem):
-        ctx = RunContext()
+        ctx = RunContext(options=AlgorithmOptions(rank_backend="modular"))
         ctx.bind_shared_rank_memo(toy_record.reduced)
         assert ctx.shared_rank_memo is not None
         col_ids = np.arange(toy_problem.q, dtype=np.int64)
@@ -66,7 +68,7 @@ class TestRankBindingFor:
     def test_shared_memo_bypassed_without_col_ids(self, toy_record, toy_problem):
         # Without a canonical column map, raw support words are ambiguous
         # across subproblems — the binding must NOT address the shared memo.
-        ctx = RunContext()
+        ctx = RunContext(options=AlgorithmOptions(rank_backend="modular"))
         ctx.bind_shared_rank_memo(toy_record.reduced)
         binding = ctx.rank_binding_for(toy_problem)
         assert binding is not None
@@ -126,6 +128,7 @@ class TestHelpers:
 
 def test_context_is_picklable(toy_record):
     ctx = RunContext(
+        options=AlgorithmOptions(rank_backend="modular"),
         memory_model=MemoryModel(capacity_bytes=4096),
         checkpoint_path="/tmp/x.npz",
     )
@@ -140,6 +143,6 @@ def test_make_rank_binding_delegates_to_context(toy_problem):
     """The legacy helper is now a thin wrapper over the context."""
     from repro.core.serial import make_rank_binding
 
-    binding = make_rank_binding(toy_problem, AlgorithmOptions())
+    binding = make_rank_binding(toy_problem, AlgorithmOptions(rank_backend="modular"))
     assert isinstance(binding, CacheBinding)
     assert make_rank_binding(toy_problem, AlgorithmOptions(rank_backend="loop")) is None

@@ -54,6 +54,7 @@ class TestPlanning:
                 candidate_pipeline=opts.candidate_pipeline,
                 pair_chunk=opts.pair_chunk,
                 pair_pruning=opts.pair_pruning,
+                rank_backend=opts.rank_backend,
             )
             assert job.predicted_peak_bytes >= 0
 
