@@ -1,0 +1,185 @@
+"""E-PERF — dynamic lookahead row selection vs static orderings.
+
+Workload: the combined divide-and-conquer run (Algorithm 3) on the yeast
+Network I small variant with a ``q_sub = 5`` tail partition — the
+configuration the dynamic :class:`~repro.core.ordering.RowSelector`
+targets, where every one of the ``2^q_sub`` subproblems re-decides its
+elimination order from its own live mode matrix.
+
+Reports total generated candidates (the paper's cost driver: "computation
+time is proportional to the number of generated intermediate elementary
+modes"), measured wall time, and candidate-volume-modeled generation
+seconds on both of the paper's platforms, for ``ordering`` in dynamic /
+paper / natural.  Two acceptance bars are asserted: dynamic must cut
+cumulative candidates by >= 1.15x against the static paper order, and
+its selection overhead must keep measured wall time within 1.05x of the
+paper order's.  The EFM sets must be identical (canonicalized) across
+all three.  Repetitions come from ``REPRO_BENCH_REPS`` (default 3; CI's
+smoke job sets 1); each ordering's wall time is the best over
+repetitions, the standard guard against scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import Table
+from repro.cluster.platform import PLATFORMS
+from repro.config import AlgorithmOptions
+from repro.dnc.combined import combined_parallel
+from repro.dnc.selection import select_partition_reactions
+from repro.models.variants import yeast_1_small
+from repro.network.compression import compress_network
+
+Q_SUB = 5
+CANDIDATE_REDUCTION_TARGET = 1.15
+WALL_OVERHEAD_LIMIT = 1.05
+ORDERINGS = ("dynamic", "paper", "natural")
+REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+
+
+def _canonical(rows: np.ndarray) -> np.ndarray:
+    """Unit max-norm scale + lexicographic sort, for order/scale-free
+    EFM-set comparison (mirrors the test suite's helper)."""
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    if rows.shape[0] == 0:
+        return rows
+    scale = np.abs(rows).max(axis=1, keepdims=True)
+    scale[scale == 0] = 1.0
+    keys = np.round(rows / scale, 9)
+    return keys[np.lexsort(keys.T[::-1])]
+
+
+@pytest.fixture(scope="module")
+def ordering_runs():
+    reduced = compress_network(yeast_1_small()).reduced
+    partition = select_partition_reactions(
+        reduced, Q_SUB, method="tail", options=AlgorithmOptions()
+    )
+    out = {"partition": partition, "reduced": reduced}
+    # Repetitions are interleaved across orderings (rep-major, not
+    # ordering-major) so drifting background load hits every ordering
+    # alike instead of biasing whichever ran last.
+    for _ in range(REPS):
+        for ordering in ORDERINGS:
+            options = AlgorithmOptions(ordering=ordering)
+            t0 = time.perf_counter()
+            run = combined_parallel(reduced, partition, 1, options=options)
+            wall = time.perf_counter() - t0
+            if ordering not in out or wall < out[ordering][1]:
+                out[ordering] = (run, wall)
+    return out
+
+
+def test_orderings_same_efm_set(ordering_runs):
+    ref_run, _ = ordering_runs["paper"]
+    assert ref_run.n_efms == 530
+    ca = _canonical(ref_run.efms())
+    for ordering in ("dynamic", "natural"):
+        run, _ = ordering_runs[ordering]
+        assert run.n_efms == 530, ordering
+        cb = _canonical(run.efms())
+        assert ca.shape == cb.shape, ordering
+        assert np.allclose(ca, cb, atol=1e-7), ordering
+
+
+def test_ordering_artifact(ordering_runs, write_artifact):
+    dynamic_run, wall_dynamic = ordering_runs["dynamic"]
+    paper_run, wall_paper = ordering_runs["paper"]
+
+    table = Table(
+        title=(
+            "BENCH — dynamic row selection "
+            f"(yeast-I-small, combined, q_sub={Q_SUB}, best of {REPS})"
+        ),
+        columns=[
+            "ordering", "# EFM", "total candidates", "wall (s)",
+            "modeled gen calhoun (s)", "modeled gen bluegene-p (s)",
+        ],
+    )
+    payload = {
+        "benchmark": "ordering",
+        "network": "yeast-I-small",
+        "workload": {
+            "method": "combined",
+            "q_sub": Q_SUB,
+            "partition": list(ordering_runs["partition"]),
+            "repetitions": REPS,
+            "aggregation": "best",
+        },
+        "orderings": {},
+    }
+    for ordering in ORDERINGS:
+        run, wall = ordering_runs[ordering]
+        modeled = {
+            name: spec.t_gen_cand(run.total_candidates)
+            for name, spec in PLATFORMS.items()
+        }
+        table.add_row(
+            ordering, run.n_efms, run.total_candidates, round(wall, 4),
+            round(modeled["calhoun"], 4), round(modeled["bluegene-p"], 4),
+        )
+        payload["orderings"][ordering] = {
+            "n_efms": run.n_efms,
+            "total_candidates": run.total_candidates,
+            "wall_s": wall,
+            "modeled_gen_s": modeled,
+        }
+    write_artifact("ordering.txt", table.render())
+
+    reduction = paper_run.total_candidates / dynamic_run.total_candidates
+    wall_ratio = wall_dynamic / wall_paper
+    payload.update(
+        {
+            "candidate_reduction": reduction,
+            "candidate_reduction_target": CANDIDATE_REDUCTION_TARGET,
+            "meets_reduction_target": bool(
+                reduction >= CANDIDATE_REDUCTION_TARGET
+            ),
+            "wall_ratio": wall_ratio,
+            "wall_overhead_limit": WALL_OVERHEAD_LIMIT,
+            "meets_wall_limit": bool(wall_ratio <= WALL_OVERHEAD_LIMIT),
+        }
+    )
+    write_artifact("BENCH_ordering.json", json.dumps(payload, indent=2))
+
+
+def test_candidate_reduction_target(ordering_runs):
+    """The tentpole's acceptance bar: dynamic selection cuts cumulative
+    candidates >= 1.15x against the static paper order."""
+    dynamic_run, _ = ordering_runs["dynamic"]
+    paper_run, _ = ordering_runs["paper"]
+    reduction = paper_run.total_candidates / dynamic_run.total_candidates
+    assert reduction >= CANDIDATE_REDUCTION_TARGET, (
+        f"candidate reduction {reduction:.3f}x below "
+        f"{CANDIDATE_REDUCTION_TARGET}x target (paper "
+        f"{paper_run.total_candidates} vs dynamic "
+        f"{dynamic_run.total_candidates})"
+    )
+
+
+def test_wall_overhead_within_limit(ordering_runs):
+    """Selection overhead bar: dynamic wall time within 1.05x of the
+    static paper order's despite re-scoring every iteration."""
+    _, wall_dynamic = ordering_runs["dynamic"]
+    _, wall_paper = ordering_runs["paper"]
+    ratio = wall_dynamic / wall_paper
+    assert ratio <= WALL_OVERHEAD_LIMIT, (
+        f"dynamic wall overhead {ratio:.3f}x above {WALL_OVERHEAD_LIMIT}x "
+        f"limit (dynamic {wall_dynamic:.3f}s vs paper {wall_paper:.3f}s)"
+    )
+
+
+def test_natural_order_is_worse(ordering_runs):
+    """Sanity anchor: the unordered baseline generates strictly more
+    candidates than either heuristic, so the comparison is meaningful."""
+    natural_run, _ = ordering_runs["natural"]
+    dynamic_run, _ = ordering_runs["dynamic"]
+    paper_run, _ = ordering_runs["paper"]
+    assert natural_run.total_candidates > paper_run.total_candidates
+    assert natural_run.total_candidates > dynamic_run.total_candidates

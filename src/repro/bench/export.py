@@ -23,6 +23,8 @@ ITERATION_COLUMNS = (
     "n_pos",
     "n_neg",
     "n_zero",
+    "sel_score",
+    "sel_evaluated",
     "n_pairs",
     "n_tiles_total",
     "n_tiles_pruned",

@@ -211,6 +211,113 @@ def candidate_row_bytes(q: int, pipeline: str = "deferred") -> int:
     return 8 * q + 8 * words
 
 
+def _surrogate_kernel(n: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cheap ``(I; R)``-form kernel for planning surrogates.
+
+    One float Gauss–Jordan pass with partial pivoting (vectorized row
+    updates, no SVD): returns ``(kernel, col_perm)`` with the same block
+    shape as :func:`~repro.linalg.numeric.kernel_identity_form` — free
+    columns first with an identity block on top — but without its
+    pivot-priority handling or per-column rank certification.  Only the
+    *sign pattern* feeds the trajectory simulation, so echelon-form
+    fidelity is all that matters here.
+    """
+    a = np.asarray(n, dtype=np.float64).copy()
+    m, q = a.shape
+    tol = 1e-9 * max(1.0, float(np.abs(a).max()) if a.size else 0.0)
+    piv_cols: list[int] = []
+    r = 0
+    for c in range(q):
+        if r == m:
+            break
+        p = r + int(np.argmax(np.abs(a[r:, c])))
+        if abs(a[p, c]) <= tol:
+            continue
+        if p != r:
+            a[[r, p]] = a[[p, r]]
+        a[r] /= a[r, c]
+        others = np.nonzero(np.abs(a[:, c]) > tol)[0]
+        others = others[others != r]
+        if others.size:
+            a[others] -= np.outer(a[others, c], a[r])
+        piv_cols.append(c)
+        r += 1
+    pivset = set(piv_cols)
+    free = [c for c in range(q) if c not in pivset]
+    col_perm = np.array(free + piv_cols, dtype=np.intp)
+    n_free = len(free)
+    kernel = np.zeros((q, n_free))
+    if n_free:
+        kernel[:n_free] = np.eye(n_free)
+        if r:
+            kernel[n_free:] = -a[:r][:, free]
+    return kernel, col_perm
+
+
+def _pair_trajectory_ratio(n: np.ndarray, reversible: np.ndarray) -> float:
+    """Peak pair-count ratio of dynamic greedy selection vs the static
+    paper order, on the *no-growth surrogate*.
+
+    Both orders are simulated on the initial kernel's sign pattern alone:
+    each step charges the chosen row its ``|pos| * |neg|`` pair count among
+    the surviving modes, then (for irreversible rows) removes the negative
+    modes — accepted candidates are ignored, mirroring the linear-growth
+    surrogate's spirit of cheap, deterministic planning.  The returned
+    ratio ``max(dynamic trajectory) / max(static trajectory)`` is how much
+    the dynamic order shrinks the worst iteration's pair space; callers
+    clamp and apply it to the pair-count surrogate only.
+
+    The kernel comes from :func:`_surrogate_kernel` — one vectorized
+    float RREF, not the solver's SVD-pivoted
+    :func:`~repro.linalg.numeric.kernel_identity_form` — because this
+    runs once per subset inside the scheduler's planning pass and must
+    stay negligible next to the subproblem solves it budgets for.
+    """
+    kernel, col_perm = _surrogate_kernel(n)
+    q, n_free = kernel.shape
+    if n_free == 0 or q <= n_free:
+        return 1.0
+    rev = np.asarray(reversible, dtype=bool)[col_perm]
+    signs = np.sign(np.asarray(kernel, dtype=np.float64)).astype(np.int8)
+    tail = np.arange(n_free, q)
+    nnz = np.count_nonzero(kernel[tail], axis=1)
+    static = tail[np.lexsort((tail, nnz, rev[tail].astype(np.int8)))]
+
+    def simulate(dynamic: bool) -> int:
+        alive = np.ones(n_free, dtype=bool)
+        remaining = [int(r) for r in static]
+        peak = 0
+        while remaining:
+            if dynamic:
+                rows = np.array(remaining, dtype=np.int64)
+                sub = signs[rows][:, alive]
+                n_p = (sub > 0).sum(axis=1)
+                n_n = (sub < 0).sum(axis=1)
+                pairs_all = n_p * n_n
+                irr = ~rev[rows]
+                cand = np.nonzero(irr)[0] if irr.any() else np.arange(rows.size)
+                # Same (active, pairs, position) key as RowSelector._pick.
+                pick = cand[
+                    np.lexsort((rows[cand], pairs_all[cand], (n_p + n_n)[cand]))[0]
+                ]
+                r = int(rows[pick])
+                pairs = int(pairs_all[pick])
+                remaining.remove(r)
+            else:
+                r = remaining.pop(0)
+                srow = signs[r][alive]
+                pairs = int((srow > 0).sum()) * int((srow < 0).sum())
+            peak = max(peak, pairs)
+            if not rev[r]:
+                alive &= signs[r] >= 0
+        return peak
+
+    peak_static = simulate(False)
+    if peak_static <= 0:
+        return 1.0
+    return simulate(True) / peak_static
+
+
 def predict_subset_peak_bytes(
     reduced: "MetabolicNetwork",
     spec: "SubsetSpec",
@@ -223,6 +330,7 @@ def predict_subset_peak_bytes(
     iter_streaming: str = "off",
     iter_chunk_bytes: int | str = "auto",
     rank_backend: str = "modular",
+    ordering: str = "paper",
 ) -> int:
     """A-priori peak-footprint prediction for one divide-and-conquer
     subproblem, before its kernel is built.
@@ -261,14 +369,25 @@ def predict_subset_peak_bytes(
     the prediction stays an upper bound on the measured peak in either
     mode.
 
+    With ``ordering="dynamic"`` the pair-count surrogate consumes the
+    dynamic order's no-growth trajectory (:func:`_pair_trajectory_ratio`):
+    dynamic selection picks the cheapest remaining row each iteration, so
+    its worst pair space is at most the static order's — the simulated
+    ratio, clamped to ``[0.25, 1.0]`` (never below a quarter, never an
+    inflation), scales ``peak_pairs`` only.  The mode-storage and
+    retained-candidate surrogates are left untouched: the final EFM set
+    (and thus the mode-count growth envelope) is order-independent.
+
     Returns 0 for structurally empty subproblems (no flux possible).
     """
     from repro.network.stoichiometry import stoichiometric_matrix  # noqa: PLC0415
 
     n = stoichiometric_matrix(reduced)
+    names = reduced.reaction_names
+    keep = list(range(n.shape[1]))
     if spec.zero:
-        names = reduced.reaction_names
-        keep = [j for j, nm in enumerate(names) if nm not in set(spec.zero)]
+        zero = set(spec.zero)
+        keep = [j for j, nm in enumerate(names) if nm not in zero]
         n = n[:, keep]
     q_work = n.shape[1]
     if q_work == 0:
@@ -286,6 +405,13 @@ def predict_subset_peak_bytes(
     # Pair-count surrogate at the peak iteration: the two sign classes
     # split the peak mode count roughly in half.
     peak_pairs = (peak_modes // 2) * (peak_modes - peak_modes // 2)
+    if ordering == "dynamic" and peak_pairs:
+        try:
+            rev_keep = np.asarray(reduced.reversibility, dtype=bool)[keep]
+            ratio = min(1.0, max(0.25, _pair_trajectory_ratio(n, rev_keep)))
+        except Exception:  # planning surrogate — never fail the prediction
+            ratio = 1.0
+        peak_pairs = max(1, int(peak_pairs * ratio))
     chunk = pair_chunk
     if iter_streaming == "on":
         chunk = streaming_chunk_pairs(

@@ -26,7 +26,9 @@ DEFAULT_PAIR_CHUNK: int = 65536
 
 Arithmetic = Literal["float", "exact"]
 AcceptanceTest = Literal["rank", "bittree", "both"]
-OrderingName = Literal["paper", "natural", "most-nonzeros", "random"]
+OrderingName = Literal[
+    "dynamic", "paper", "natural", "most-nonzeros", "random"
+]
 RankBackend = Literal["modular", "batched", "loop"]
 CandidatePipeline = Literal["deferred", "eager"]
 PairPruning = Literal["tiles", "none"]
@@ -72,6 +74,18 @@ def _default_iter_chunk_bytes() -> int | str:
     streaming_chunk_pairs`)."""
     val = os.environ.get("REPRO_ITER_CHUNK_BYTES", "auto")
     return val if val == "auto" else int(val)
+
+
+def _default_ordering() -> str:
+    """Session-wide row-ordering default, overridable via the environment
+    so a whole test run can be flipped to the static paper heuristic (the
+    CI ``ordering`` leg sets ``REPRO_ORDERING=paper``)."""
+    return os.environ.get("REPRO_ORDERING", "dynamic")
+
+
+#: Default number of shortlisted rows the dynamic selector refines with
+#: the one-step lookahead score (0 = base pair-count score only).
+DEFAULT_SELECTION_LOOKAHEAD: int = 4
 
 
 def _default_rank_backend() -> str:
@@ -157,10 +171,27 @@ class AlgorithmOptions:
         reference).  Both produce bit-identical EFM sets; exact-arithmetic
         runs always use the eager path.
     ordering:
-        Row-processing order heuristic.  ``"paper"`` = fewest non-zeros
-        first with reversible rows pushed last (§II.C); ``"natural"`` keeps
-        kernel order; ``"most-nonzeros"`` is the adversarial ablation;
-        ``"random"`` uses ``ordering_seed``.
+        Row-processing order.  ``"dynamic"`` (default) picks the next
+        eliminated row at the top of every iteration from the *live* mode
+        matrix: a :class:`~repro.core.ordering.RowSelector` scores each
+        remaining row by its exact ``|pos| * |neg|`` pair count (the
+        paper's cost driver — "computation time is proportional to the
+        number of generated intermediate elementary modes"), optionally
+        refined by a one-step lookahead (``selection_lookahead``), with
+        reversible rows deferred until no irreversible row remains.  The
+        static heuristics keep the one-shot permutation computed from the
+        initial kernel: ``"paper"`` = fewest non-zeros first with
+        reversible rows pushed last (§II.C); ``"natural"`` keeps kernel
+        order; ``"most-nonzeros"`` is the adversarial ablation;
+        ``"random"`` uses ``ordering_seed``.  Every ordering yields the
+        same EFM set.  The default follows ``REPRO_ORDERING``.
+    selection_lookahead:
+        Dynamic selection's scoring-cost cap: the number of lowest-base-
+        score rows shortlisted for the one-step lookahead refinement
+        (simulate the candidate row's negative-mode removal, credit the
+        cheapest follow-up row).  ``0`` selects on the base pair count
+        alone — the column-partitioned driver always does, since lookahead
+        needs the joint sign distribution only replicated drivers hold.
     pair_pruning:
         Zone-map pruning of the candidate pair space
         (:mod:`repro.core.pairspace`).  ``"tiles"`` (default) clusters
@@ -225,7 +256,8 @@ class AlgorithmOptions:
         default_factory=_default_pair_pruning
     )
     pair_block: int | str = "auto"
-    ordering: OrderingName = "paper"
+    ordering: OrderingName = dataclasses.field(default_factory=_default_ordering)
+    selection_lookahead: int = DEFAULT_SELECTION_LOOKAHEAD
     pair_chunk: int = DEFAULT_PAIR_CHUNK
     wire_protocol: WireProtocol = dataclasses.field(
         default_factory=_default_wire_protocol
@@ -261,8 +293,17 @@ class AlgorithmOptions:
                 f"pair_block must be 'auto' or a positive int, "
                 f"got {self.pair_block!r}"
             )
-        if self.ordering not in ("paper", "natural", "most-nonzeros", "random"):
+        if self.ordering not in (
+            "dynamic", "paper", "natural", "most-nonzeros", "random"
+        ):
             raise ValueError(f"unknown ordering {self.ordering!r}")
+        if not isinstance(self.selection_lookahead, int) or isinstance(
+            self.selection_lookahead, bool
+        ) or self.selection_lookahead < 0:
+            raise ValueError(
+                f"selection_lookahead must be a non-negative int, "
+                f"got {self.selection_lookahead!r}"
+            )
         if self.pair_chunk < 1:
             raise ValueError("pair_chunk must be positive")
         if self.wire_protocol not in ("typed", "pickle"):

@@ -282,12 +282,32 @@ class AdjacencyTest:
     Unlike the algebraic rank test this is a per-*pair* test and must run
     **before** duplicate removal: a ray generated by both an adjacent and a
     non-adjacent pair must be judged on the adjacent one.
+
+    ``processed`` lists the row positions whose constraints the test may
+    "see" — the identity block plus every row eliminated *before* the
+    current one.  Static orderings process positions in ascending order,
+    so their processed set is exactly the prefix ``0..k-1`` and the
+    argument may be omitted; dynamic row selection eliminates rows out of
+    position order, making the explicit set mandatory (a prefix mask
+    would include constraints not yet enforced and exclude enforced ones,
+    breaking the test in both directions).
     """
 
     __slots__ = ("refs", "mask")
 
-    def __init__(self, current_words: np.ndarray, n_rows: int, k: int) -> None:
-        self.mask = processed_rows_mask(n_rows, k)
+    def __init__(
+        self,
+        current_words: np.ndarray,
+        n_rows: int,
+        k: int,
+        processed: np.ndarray | None = None,
+    ) -> None:
+        if processed is None:
+            self.mask = processed_rows_mask(n_rows, k)
+        else:
+            mask_bits = np.zeros((n_rows, 1), dtype=bool)
+            mask_bits[np.asarray(processed, dtype=np.intp), 0] = True
+            self.mask = bitset.pack_supports(mask_bits)[0]
         self.refs = current_words & self.mask[None, :]
 
     def adjacent(self, pair_union_words: np.ndarray) -> np.ndarray:

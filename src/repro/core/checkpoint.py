@@ -33,8 +33,13 @@ from repro.engine.context import RunContext
 from repro.errors import AlgorithmError
 from repro.linalg.bitset import PackedSupports
 
-#: Format version; bump on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: Format version; bump on incompatible layout changes.  Version 2 added
+#: the realized row order (``row_order``) and the ordering name to the
+#: manifest: under ``ordering="dynamic"`` the processed rows are chosen at
+#: run time from the live mode matrix, so a resume must replay the exact
+#: realized prefix — silently resuming under a different order would
+#: process rows twice or never.
+CHECKPOINT_VERSION = 2
 
 
 def problem_fingerprint(problem: NullspaceProblem, options: AlgorithmOptions) -> str:
@@ -60,13 +65,26 @@ def problem_fingerprint(problem: NullspaceProblem, options: AlgorithmOptions) ->
 
 @dataclasses.dataclass
 class Checkpoint:
-    """A resumable snapshot taken after iteration ``next_row - 1``."""
+    """A resumable snapshot taken after ``len(row_order)`` iterations.
+
+    ``row_order`` is the *realized* processing order — the row positions
+    already eliminated, in elimination order.  Static orderings realize
+    their baked-in permutation; ``ordering="dynamic"`` realizes whatever
+    the :class:`~repro.core.ordering.RowSelector` chose from the live mode
+    matrix.  ``next_row`` is kept as a progress marker
+    (``first_row + len(row_order)`` — a *count*, not a position, under
+    dynamic ordering).
+    """
 
     fingerprint: str
     next_row: int
     modes: ModeMatrix
     stats: RunStats
     elapsed: float
+    #: realized elimination order (row positions, in processed order).
+    row_order: tuple[int, ...] = ()
+    #: the ordering name the run was started under.
+    ordering: str = "paper"
 
     def save(self, path: str | Path) -> None:
         """Write the snapshot atomically (tmp file + rename)."""
@@ -83,6 +101,8 @@ class Checkpoint:
             n_rows=np.int64(self.modes.supports.n_rows),
             stats=np.frombuffer(stats_blob, dtype=np.uint8),
             elapsed=np.float64(self.elapsed),
+            row_order=np.asarray(self.row_order, dtype=np.int64),
+            ordering=np.frombuffer(self.ordering.encode(), dtype=np.uint8),
         )
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_bytes(buf.getvalue())
@@ -110,6 +130,8 @@ class Checkpoint:
                 modes=modes,
                 stats=stats,
                 elapsed=float(data["elapsed"]),
+                row_order=tuple(int(r) for r in data["row_order"]),
+                ordering=bytes(data["ordering"].tobytes()).decode(),
             )
 
 
@@ -181,17 +203,20 @@ def checkpointed_nullspace_algorithm(
                 f"checkpoint {path} belongs to a different problem/options "
                 "combination; refusing to resume"
             )
-        modes, stats, start_row, elapsed0 = ck.modes, ck.stats, ck.next_row, ck.elapsed
+        if ck.ordering != options.ordering:
+            raise AlgorithmError(
+                f"checkpoint {path} was written under ordering="
+                f"{ck.ordering!r} but this run requests "
+                f"{options.ordering!r}; refusing to resume — the realized "
+                "row order would not match the checkpointed prefix"
+            )
+        modes, stats, elapsed0 = ck.modes, ck.stats, ck.elapsed
+        processed = ck.row_order
     else:
         modes = ModeMatrix.from_kernel(problem.kernel, policy=options.policy)
         stats = RunStats()
-        start_row = problem.first_row
         elapsed0 = 0.0
-
-    if not (problem.first_row <= start_row <= stop):
-        raise AlgorithmError(
-            f"checkpoint row {start_row} outside the requested range"
-        )
+        processed = ()
 
     t_start = time.perf_counter()
     n_exact = None
@@ -201,10 +226,19 @@ def checkpointed_nullspace_algorithm(
     if memory_check is None:
         memory = ctx.fresh_memory()
         memory_check = memory.check if memory is not None else None
-    for k in range(start_row, stop):
+    # The selector replays the checkpoint's realized prefix (its validation
+    # rejects out-of-window rows and, for static orderings, any prefix that
+    # is not the static order's own — a checkpoint written under a
+    # different ordering name is rejected above before we get here).
+    selector = ctx.row_selector_for(problem, stop, processed=processed)
+    n_resumed = len(selector.realized)
+    while selector.has_next():
+        k = selector.next_row(modes)
         it = ctx.new_iteration(problem, k)
+        selector.annotate(it)
         kept, cand = iterate_row(
-            modes, k, problem, options, it, n_exact=n_exact, rank_cache=rank_cache
+            modes, k, problem, options, it, n_exact=n_exact,
+            rank_cache=rank_cache, processed_rows=selector.adjacency_rows(),
         )
         with PhaseTimer(it, "t_merge"):
             modes = kept.concat(cand) if cand.n_modes else kept
@@ -213,14 +247,17 @@ def checkpointed_nullspace_algorithm(
         stats.peak_mode_bytes = max(stats.peak_mode_bytes, modes.nbytes())
         if memory_check is not None:
             memory_check(k, modes)
-        if (k - start_row) % checkpoint_every == checkpoint_every - 1 or k == stop - 1:
+        n_done = len(selector.realized) - n_resumed
+        if n_done % checkpoint_every == 0 or not selector.has_next():
             stats.t_total = elapsed0 + time.perf_counter() - t_start
             Checkpoint(
                 fingerprint=fp,
-                next_row=k + 1,
+                next_row=problem.first_row + len(selector.realized),
                 modes=modes,
                 stats=stats,
                 elapsed=stats.t_total,
+                row_order=tuple(selector.realized),
+                ordering=options.ordering,
             ).save(path)
 
     stats.t_total = elapsed0 + time.perf_counter() - t_start

@@ -17,6 +17,14 @@ between chunks is only the accepted set plus the incremental dedup index
 (:class:`repro.core.bittree.SupportIndex`), both of which the batch path
 holds anyway — the whole-iteration survivor set never materializes.
 
+Streaming is orthogonal to *which* row an iteration eliminates: the
+:class:`~repro.core.ordering.RowSelector` picks ``k`` before the
+iteration body runs, and this engine then streams that row's pair space
+exactly as the batch body would consume it.  Dynamic selection composes
+multiplicatively — it shrinks the pair space that exists, streaming
+bounds how much of it is resident at once — which is why the parity
+suite pins ordering × streaming jointly.
+
 Bit-identity with the batch path
 --------------------------------
 

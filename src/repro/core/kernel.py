@@ -193,6 +193,12 @@ def problem_from_matrices(
             reactions=tuple(rev_free),
         )
 
+    # Bake the static row permutation into the problem.  Under
+    # ordering="dynamic" this is only the candidate-set *layout* (and the
+    # planning surrogate's order) — the processed order is chosen at run
+    # time by the RowSelector each driver consults; the permutation must
+    # still be computed here so the problem's matrices, names and D&C
+    # pinned positions agree across orderings.
     rev_perm0 = reversible[col_perm]
     tail_order = order_rows(kernel0, rev_perm0, n_free, options)
     base = np.concatenate([np.arange(n_free), tail_order])

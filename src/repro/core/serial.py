@@ -17,6 +17,11 @@ non-identity row:
 The same iteration body is reused by the parallel drivers, which override
 the pair range and insert a communicate/merge step; ``iterate_row`` is the
 shared kernel.
+
+Which row an iteration eliminates comes from the run's
+:class:`~repro.core.ordering.RowSelector`: static orderings replay the
+problem's baked-in permutation, ``ordering="dynamic"`` (default) picks
+the cheapest remaining row from the live mode matrix each iteration.
 """
 
 from __future__ import annotations
@@ -140,6 +145,7 @@ def iterate_row(
     n_exact: rational.FractionMatrix | None = None,
     rank_cache: CacheBinding | None = None,
     materialize: bool = True,
+    processed_rows: np.ndarray | None = None,
 ) -> tuple[ModeMatrix, ModeMatrix | CandidateBatch]:
     """One iteration body shared by serial and parallel drivers.
 
@@ -186,8 +192,13 @@ def iterate_row(
         # Sort&RemoveDuplicates -> RankTests order).
         adjacency = None
         if options.acceptance in ("bittree", "both"):
+            # ``processed_rows`` (the selector's realized prior set) is
+            # required under dynamic ordering — see AdjacencyTest: the
+            # prefix fallback is only valid for in-position processing.
             with PhaseTimer(stats, "t_rank_test"):
-                adjacency = bittree.AdjacencyTest(modes.supports.words, modes.q, k)
+                adjacency = bittree.AdjacencyTest(
+                    modes.supports.words, modes.q, k, processed=processed_rows
+                )
         if options.iter_streaming == "on" and not modes.exact:
             cand = iterstream.stream_iteration(
                 modes, k, pos_idx, neg_idx, pr, problem.n_perm,
@@ -304,17 +315,24 @@ def nullspace_algorithm(
         memory = ctx.fresh_memory()
         memory_check = memory.check if memory is not None else None
 
-    for k in range(problem.first_row, stop):
+    # Dynamic ordering consults the selector at the top of every
+    # iteration (scored from the live mode matrix); static orderings
+    # replay the problem's baked-in permutation through the same seam.
+    selector = ctx.row_selector_for(problem, stop)
+    while selector.has_next():
+        k = selector.next_row(modes)
         it = ctx.new_iteration(problem, k)
+        selector.annotate(it)
         kept, cand = iterate_row(
-            modes, k, problem, options, it, n_exact=n_exact, rank_cache=rank_cache
+            modes, k, problem, options, it, n_exact=n_exact,
+            rank_cache=rank_cache, processed_rows=selector.adjacency_rows(),
         )
         with PhaseTimer(it, "t_merge"):
             modes = kept.concat(cand) if cand.n_modes else kept
         it.n_modes_end = modes.n_modes
         stats.add(it)
         stats.peak_mode_bytes = max(stats.peak_mode_bytes, modes.nbytes())
-        recorder.capture(k, problem, modes)
+        recorder.capture(k, problem, modes, selector.last_score)
         if memory_check is not None:
             memory_check(k, modes)
 

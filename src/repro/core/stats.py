@@ -84,6 +84,12 @@ class IterationStats:
     #: candidates probed against the incremental dedup index
     #: (streaming; see repro.core.bittree.SupportIndex).
     n_dedup_probes: int = 0
+    #: the chosen row's global |pos|*|neg| pair count at selection time
+    #: (dynamic ordering; 0 on static paths — see repro.core.ordering).
+    sel_score: int = 0
+    #: remaining rows the dynamic selector scored before choosing this one
+    #: (0 on static paths) — the per-iteration scoring-cost counter.
+    sel_evaluated: int = 0
     #: old negative-entry columns dropped (irreversible rows only).
     n_neg_removed: int = 0
     #: mode count after the iteration.
@@ -166,6 +172,12 @@ class RunStats:
     def total_prefix_reused_cols(self) -> int:
         """Member-columns served from elimination-prefix snapshots."""
         return sum(it.n_prefix_reused_cols for it in self.iterations)
+
+    @property
+    def total_sel_evaluated(self) -> int:
+        """Rows scored by the dynamic selector across all iterations (the
+        ordering ablation's scoring-cost counter; 0 for static runs)."""
+        return sum(it.sel_evaluated for it in self.iterations)
 
     @property
     def t_gen_cand(self) -> float:
@@ -273,6 +285,10 @@ class RunStats:
                     n_chunks=a.n_chunks + b.n_chunks,
                     peak_chunk_bytes=max(a.peak_chunk_bytes, b.peak_chunk_bytes),
                     n_dedup_probes=a.n_dedup_probes + b.n_dedup_probes,
+                    # Selection is replica-consistent, so these agree
+                    # across ranks; max keeps the shared value.
+                    sel_score=max(a.sel_score, b.sel_score),
+                    sel_evaluated=max(a.sel_evaluated, b.sel_evaluated),
                     n_neg_removed=a.n_neg_removed,
                     n_modes_end=max(a.n_modes_end, b.n_modes_end),
                     t_gen_cand=max(a.t_gen_cand, b.t_gen_cand),

@@ -27,16 +27,24 @@ class IterationTrace:
     row_names: tuple[str, ...]
     #: matrix in the paper's orientation: rows = reactions, cols = modes.
     matrix: np.ndarray
+    #: dynamic ordering's selection-time |pos|*|neg| score of this row
+    #: (0 for static orderings — see repro.core.ordering.RowSelector).
+    sel_score: int = 0
 
     @classmethod
     def capture(
-        cls, position: int, problem: "NullspaceProblem", modes: "ModeMatrix"
+        cls,
+        position: int,
+        problem: "NullspaceProblem",
+        modes: "ModeMatrix",
+        sel_score: int = 0,
     ) -> "IterationTrace":
         return cls(
             position=position,
             reaction=problem.names[position],
             row_names=problem.names,
             matrix=modes.modes_as_columns(),
+            sel_score=sel_score,
         )
 
     def render(self, *, fmt: str = "{:>5.3g}") -> str:

@@ -9,6 +9,15 @@ procedure; this module does so: subsets are solved under a
 :class:`~repro.errors.OutOfMemoryError` is re-queued as two children
 refined by one more reaction, until everything fits or the refinement
 budget is exhausted.
+
+Dynamic row selection (the default ``ordering``, DESIGN.md §14) lowers
+the pressure this module exists to relieve: each subproblem's peak pair
+space shrinks when the cheapest live row is eliminated first, so fewer
+subsets hit the memory wall in the first place — the refinement loop is
+unchanged, it just fires later.  A refined child re-runs under a fresh
+:class:`~repro.core.ordering.RowSelector`, so its realized order adapts
+to the child's own (smaller) mode matrix rather than replaying the
+parent's.
 """
 
 from __future__ import annotations

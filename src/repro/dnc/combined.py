@@ -14,6 +14,14 @@ For each subset of the divide-and-conquer partition:
 The union over all subsets is the complete EFM set; the subsets are
 pairwise disjoint by construction (distinct zero/non-zero patterns).
 
+Row ordering composes per subproblem: the pinned rows sit at the bottom
+and the driver's selection window is ``[first_row, stop)``, so under
+``ordering="dynamic"`` each subproblem's :class:`RowSelector` re-decides
+its own elimination order from its own live mode matrix — always inside
+its window, never touching a pinned row — and Proposition 1's argument
+(the pinned rows are simply *not processed*) is untouched by the order
+in which the window rows fall.
+
 Steps 1–2 and 4–5 are shared by every way of *running* a subproblem
 (:func:`prepare_subset` / :meth:`PreparedSubset.finalize`); the default
 runner is Algorithm 2 (:func:`solve_subset`) and the degraded runner is

@@ -53,10 +53,16 @@ class TraceRecorder:
         self.snapshots: list[IterationTrace] = []
 
     def capture(
-        self, position: int, problem: "NullspaceProblem", modes: "ModeMatrix"
+        self,
+        position: int,
+        problem: "NullspaceProblem",
+        modes: "ModeMatrix",
+        sel_score: int = 0,
     ) -> None:
         if self.enabled:
-            self.snapshots.append(IterationTrace.capture(position, problem, modes))
+            self.snapshots.append(
+                IterationTrace.capture(position, problem, modes, sel_score)
+            )
 
 
 @dataclasses.dataclass
@@ -207,6 +213,27 @@ class RunContext:
             position=k,
             reaction=problem.names[k],
             reversible=bool(problem.reversible[k]),
+        )
+
+    def row_selector_for(
+        self,
+        problem: "NullspaceProblem",
+        stop: int | None = None,
+        *,
+        processed=(),
+    ):
+        """The run's :class:`~repro.core.ordering.RowSelector` over the
+        window ``[first_row, stop)`` — static orderings replay the baked-in
+        permutation, ``ordering="dynamic"`` scores the live mode matrix
+        each iteration.  ``processed`` seeds an already-realized prefix
+        (checkpoint resume)."""
+        from repro.core.ordering import RowSelector  # noqa: PLC0415
+
+        return RowSelector(
+            problem,
+            problem.q if stop is None else stop,
+            self.options,
+            processed=processed,
         )
 
     def trace_recorder(self) -> TraceRecorder:

@@ -170,6 +170,7 @@ class SubproblemScheduler:
                     iter_streaming=self.context.options.iter_streaming,
                     iter_chunk_bytes=self.context.options.iter_chunk_bytes,
                     rank_backend=self.context.options.rank_backend,
+                    ordering=self.context.options.ordering,
                 ),
             )
             for i, spec in enumerate(self.specs)

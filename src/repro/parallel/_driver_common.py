@@ -9,13 +9,15 @@ handed to :func:`repro.mpi.spmd.run_spmd`.  One copy of each lives here.
 from __future__ import annotations
 
 import functools
+import os
 
 import numpy as np
 
 from repro.cluster.memory import MemoryModel
-from repro.config import NumericPolicy
+from repro.config import AlgorithmOptions, NumericPolicy
 from repro.core.state import ModeMatrix
 from repro.core.stats import RunStats
+from repro.errors import AlgorithmError
 from repro.linalg.bitset import PackedSupports
 from repro.mpi.comm import Communicator
 from repro.mpi.tracing import TracingCommunicator
@@ -55,6 +57,36 @@ def collect_wire_stats(
     stats.segment_peak_bytes = w.peak_segment_bytes
     if memory is not None and w.peak_segment_bytes:
         memory.note_segments(w.peak_segment_bytes)
+
+
+def selection_debug_enabled(options: AlgorithmOptions) -> bool:
+    """Whether the per-iteration selection-consistency fingerprint check
+    runs (debug/trace mode: ``record_trace`` or ``REPRO_SELECTION_DEBUG``).
+    Production dynamic selection is communication-free — every replica
+    computes the same argmin locally — so the allgathered fingerprint is
+    strictly a debugging assertion, never a correctness dependency."""
+    return options.record_trace or bool(os.environ.get("REPRO_SELECTION_DEBUG"))
+
+
+def check_selection_consistency(
+    comm: Communicator, fingerprint: tuple[int, int, int]
+) -> None:
+    """Assert all ranks selected the same row from the same replica state.
+
+    Allgathers each rank's cheap ``(row, n_modes, support-digest)``
+    fingerprint (see :meth:`repro.core.ordering.RowSelector.fingerprint`)
+    and raises :class:`~repro.errors.AlgorithmError` on the first
+    divergence — a replica whose mode matrix drifted, or a
+    non-deterministic selector, would otherwise corrupt the run silently.
+    """
+    gathered = comm.allgather(tuple(int(x) for x in fingerprint))
+    bad = [r for r, fp in enumerate(gathered) if tuple(fp) != tuple(gathered[0])]
+    if bad:
+        raise AlgorithmError(
+            f"dynamic row selection diverged across ranks: rank 0 chose "
+            f"{gathered[0]} but ranks {bad} chose "
+            f"{[tuple(gathered[r]) for r in bad]}"
+        )
 
 
 def _traced_call(worker_fn, comm: Communicator, *args, **kwargs):

@@ -44,8 +44,10 @@ from repro.mpi.comm import Communicator
 from repro.mpi.spmd import BackendName, run_spmd
 from repro.mpi.tracing import CommTrace, TracingCommunicator
 from repro.parallel._driver_common import (
+    check_selection_consistency,
     collect_wire_stats,
     pack_modes,
+    selection_debug_enabled,
     traced_worker,
     unpack_modes,
 )
@@ -114,8 +116,19 @@ def combinatorial_worker(
     if rank_cache is None:
         rank_cache = ctx.rank_binding_for(problem)
 
-    for k in range(problem.first_row, stop):
+    # Row selection is replica-consistent by construction: every rank
+    # holds an identical mode matrix at the top of the iteration, so each
+    # computes the same argmin locally — zero extra communication.  The
+    # fingerprint allgather below asserts exactly that, in debug/trace
+    # mode only.
+    selector = ctx.row_selector_for(problem, stop)
+    selection_debug = selection_debug_enabled(options)
+    while selector.has_next():
+        k = selector.next_row(modes)
+        if selection_debug:
+            check_selection_consistency(comm, selector.fingerprint(k, modes))
         it = ctx.new_iteration(problem, k)
+        selector.annotate(it)
         kept, cand_local = iterate_row(
             modes,
             k,
@@ -126,6 +139,7 @@ def combinatorial_worker(
             n_exact=n_exact,
             rank_cache=rank_cache,
             materialize=False,
+            processed_rows=selector.adjacency_rows(),
         )
 
         # Communicate&Merge: exchange accepted local candidates; every rank

@@ -122,8 +122,27 @@ def distributed_worker(
     stop = problem.q if stop_row is None else stop_row
     rank_cache = ctx.rank_binding_for(problem)
 
-    for k in range(problem.first_row, stop):
+    # Dynamic row selection under sharding: no rank sees the whole mode
+    # matrix, so the selector's scores come from globally summed pos/neg
+    # count vectors — one extra tiny allgather (two int64 per remaining
+    # row) per iteration, base score only (the sharded-driver exception
+    # to the replicated drivers' communication-free selection; lookahead
+    # needs the joint sign distribution only replicas hold).  Static
+    # orderings take the replay path with no extra communication.
+    selector = ctx.row_selector_for(problem, stop)
+    while selector.has_next():
+        if selector.dynamic:
+            t0 = time.perf_counter()
+            count_parts = comm.allgather(selector.count_matrix(local))
+            dt_select = time.perf_counter() - t0
+            totals = np.sum(np.stack(count_parts), axis=0)
+            k = selector.next_row_from_counts(totals[0], totals[1])
+        else:
+            dt_select = 0.0
+            k = selector.next_row()
         it = ctx.new_iteration(problem, k)
+        selector.annotate(it)
+        it.t_communicate += dt_select
         signs = local.sign_column(k)
         my_pos = local.select(np.nonzero(signs > 0)[0])
         my_neg = local.select(np.nonzero(signs < 0)[0])

@@ -132,3 +132,52 @@ class TestRunAndResume:
             np.sort(res.modes.supports.words, axis=0),
             np.sort(plain.modes.supports.words, axis=0),
         )
+
+
+class TestRealizedRowOrder:
+    def test_row_order_roundtrips(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        opts = AlgorithmOptions(ordering="dynamic")
+        checkpointed_nullspace_algorithm(toy_problem, path, options=opts)
+        ck = Checkpoint.load(path)
+        assert ck.ordering == "dynamic"
+        assert sorted(ck.row_order) == list(
+            range(toy_problem.first_row, toy_problem.q)
+        )
+        assert ck.next_row == toy_problem.first_row + len(ck.row_order)
+
+    def test_dynamic_interrupt_and_resume(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        opts = AlgorithmOptions(ordering="dynamic")
+        calls = {"n": 0}
+
+        def bomb(k, modes):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OutOfMemoryError("simulated node death", iteration=k)
+
+        with pytest.raises(OutOfMemoryError):
+            checkpointed_nullspace_algorithm(
+                toy_problem, path, checkpoint_every=1, memory_check=bomb,
+                options=opts,
+            )
+        partial = Checkpoint.load(path)
+        assert len(partial.row_order) >= 1
+        # Resume replays the realized prefix and completes identically to
+        # an uninterrupted dynamic run.
+        res = checkpointed_nullspace_algorithm(toy_problem, path, options=opts)
+        plain = nullspace_algorithm(toy_problem, options=opts)
+        assert_same_modes(res.efms_input_order(), plain.efms_input_order())
+        assert len(res.stats.iterations) == len(plain.stats.iterations)
+
+    def test_ordering_mismatch_rejected(self, toy_problem, tmp_path):
+        path = tmp_path / "run.ckpt"
+        checkpointed_nullspace_algorithm(
+            toy_problem, path, checkpoint_every=1,
+            stop_row=toy_problem.first_row + 2,
+            options=AlgorithmOptions(ordering="dynamic"),
+        )
+        with pytest.raises(AlgorithmError, match="ordering"):
+            checkpointed_nullspace_algorithm(
+                toy_problem, path, options=AlgorithmOptions(ordering="natural")
+            )

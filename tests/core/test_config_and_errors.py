@@ -32,7 +32,8 @@ class TestAlgorithmOptions:
         o = AlgorithmOptions()
         assert o.arithmetic == "float"
         assert o.acceptance == "rank"
-        assert o.ordering == "paper"
+        assert o.ordering == "dynamic"
+        assert o.selection_lookahead == 4
 
     @pytest.mark.parametrize(
         "field,value",
@@ -40,6 +41,9 @@ class TestAlgorithmOptions:
             ("arithmetic", "quantum"),
             ("acceptance", "vibes"),
             ("ordering", "alphabetical"),
+            ("selection_lookahead", -1),
+            ("selection_lookahead", 2.5),
+            ("selection_lookahead", True),
             ("pair_chunk", 0),
             ("iter_streaming", "maybe"),
             ("iter_chunk_bytes", 0),
@@ -67,6 +71,14 @@ class TestAlgorithmOptions:
         o = AlgorithmOptions(iter_streaming="on", iter_chunk_bytes="auto")
         assert o.iter_streaming == "on"
         assert o.iter_chunk_bytes == "auto"
+
+    def test_ordering_default_follows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ORDERING", raising=False)
+        assert AlgorithmOptions().ordering == "dynamic"
+        monkeypatch.setenv("REPRO_ORDERING", "paper")
+        assert AlgorithmOptions().ordering == "paper"
+        # explicit arguments always win over the environment
+        assert AlgorithmOptions(ordering="natural").ordering == "natural"
 
     def test_custom_policy_carried(self):
         p = NumericPolicy(zero_tol=1e-10)

@@ -55,6 +55,7 @@ class TestPlanning:
                 pair_chunk=opts.pair_chunk,
                 pair_pruning=opts.pair_pruning,
                 rank_backend=opts.rank_backend,
+                ordering=opts.ordering,
             )
             assert job.predicted_peak_bytes >= 0
 
